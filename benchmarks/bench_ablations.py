@@ -1,0 +1,22 @@
+"""X4 — ablations of the design decisions (DESIGN.md): clustering,
+replication, the general communication model, and the backtracking
+post-pass, each disabled in turn across all paper workloads."""
+
+from repro.experiments import ablations
+from conftest import run_once
+
+
+def test_ablations(benchmark, save_artifact):
+    rows = run_once(benchmark, ablations.run)
+    save_artifact("ablations", ablations.render(rows))
+
+    assert len(rows) == 6
+    for r in rows:
+        for v in (r.no_clustering, r.no_replication, r.comm_blind, r.greedy_plain):
+            assert v <= r.full * (1 + 1e-9)
+
+    # Replication is decisive for the small-problem FFT-Hist configurations.
+    small = [r for r in rows if "256" in r.workload.chain.name]
+    assert all(r.no_replication < 0.7 * r.full for r in small)
+    # Clustering matters measurably for at least one workload.
+    assert any(r.no_clustering < 0.95 * r.full for r in rows)

@@ -1,0 +1,22 @@
+"""F1 — regenerate Figure 1: the four mapping styles (data parallel, task
+parallel, replicated data parallel, mixed) instantiated for FFT-Hist 256².
+
+Shape asserted: the mixed optimal mapping (d) wins, pure data parallelism
+(a) loses, and replication (c) recovers most of the gap — which is exactly
+why the paper's search space includes all three decisions.
+"""
+
+from repro.experiments import fig1
+from conftest import run_once
+
+
+def test_fig1_mapping_styles(benchmark, save_artifact):
+    styles = run_once(benchmark, fig1.run)
+    save_artifact("fig1_mapping_styles", fig1.render(styles))
+
+    assert len(styles) == 4
+    by_label = {s.label[:3]: s for s in styles}
+    assert by_label["(d)"].measured >= by_label["(c)"].measured * (1 - 1e-6)
+    assert by_label["(d)"].measured > by_label["(b)"].measured
+    assert by_label["(b)"].measured > by_label["(a)"].measured
+    assert by_label["(d)"].measured > 3.0 * by_label["(a)"].measured

@@ -1,0 +1,28 @@
+"""F3 — regenerate Figure 3: replication's throughput/response trade-off.
+
+Shape asserted: per-data-set response grows monotonically with the replica
+count while throughput does not decrease (§2.2 / §3.2: replication raises
+response but raises throughput), and measurement tracks prediction.
+"""
+
+import pytest
+
+from repro.experiments import fig3
+from conftest import run_once
+
+
+def test_fig3_replication(benchmark, save_artifact):
+    points = run_once(benchmark, fig3.run)
+    save_artifact("fig3_replication", fig3.render(points))
+
+    responses = [p.response for p in points]
+    assert responses == sorted(responses)
+    assert points[-1].response > 2 * points[0].response
+
+    tps = [p.predicted_throughput for p in points]
+    assert all(b >= a * (1 - 1e-9) for a, b in zip(tps, tps[1:]))
+
+    for p in points:
+        assert p.measured_throughput == pytest.approx(
+            p.predicted_throughput, rel=0.08
+        )

@@ -1,0 +1,15 @@
+"""F4 — validate the Figure 4 / Lemma 1 DP decomposition: the dynamic
+program's processor assignment equals the exhaustive optimum on a battery
+of random chains (and finds it while examining far fewer allocations)."""
+
+from repro.experiments import fig4
+from conftest import run_once
+
+
+def test_fig4_dp_vs_bruteforce(benchmark, save_artifact):
+    cases = run_once(benchmark, lambda: fig4.run(cases=12, k=3, P=14))
+    save_artifact("fig4_dp_vs_bruteforce", fig4.render(cases))
+
+    assert all(c.optimal for c in cases)
+    # Brute force explores hundreds of allocations per chain.
+    assert all(c.allocations_evaluated > 100 for c in cases)

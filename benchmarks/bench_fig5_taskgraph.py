@@ -1,0 +1,19 @@
+"""F5 — regenerate Figure 5: the FFT-Hist program's task graph, annotated
+with the cost/memory/replicability properties driving the mapping."""
+
+from repro.experiments import fig5
+from conftest import run_once
+
+
+def test_fig5_taskgraph(benchmark, save_artifact):
+    res = run_once(benchmark, fig5.run)
+    art = fig5.render(res)
+    save_artifact("fig5_taskgraph", art)
+
+    for name in ("colffts", "rowffts", "hist"):
+        assert name in art
+    # The property Figure 5/§6.3 highlights: rowffts->hist shares a
+    # distribution (free internal), colffts->rowffts is a transpose.
+    assert "matching distributions" in art
+    assert "redistribution" in art
+    assert res.workload.chain.edges[1].icom(8) == 0.0

@@ -1,0 +1,28 @@
+"""F6 — regenerate Figure 6: the optimal FFT-Hist 256²/message mapping laid
+out on the 8×8 iWarp grid (module instances as rectangles).
+
+Shape asserted: two modules ({colffts} and {rowffts, hist}), heavy
+replication, all instances rectangular and packed without overlap.
+"""
+
+from repro.experiments import fig6
+from conftest import run_once
+
+
+def test_fig6_mapping_layout(benchmark, save_artifact):
+    res = run_once(benchmark, fig6.run)
+    save_artifact("fig6_mapping_layout", fig6.render(res))
+
+    mapping = res.feasible.mapping
+    assert mapping.clustering() == ((0, 0), (1, 2))
+    assert all(m.replicas >= 5 for m in mapping.modules)
+
+    placements = res.feasible.report.placements
+    assert placements is not None
+    cells = set()
+    for rects in placements:
+        for rect in rects:
+            for cell in rect.cells():
+                assert cell not in cells
+                cells.add(cell)
+    assert len(cells) == mapping.total_procs

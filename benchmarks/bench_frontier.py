@@ -1,0 +1,29 @@
+"""X6 — throughput/latency frontier (the Vondran [14] companion work).
+
+Shape asserted: for every workload the throughput-optimal point is at
+least as fast as the latency-optimal one and at least as slow end-to-end;
+replication-heavy workloads (FFT-Hist 256², stereo) trade large latency
+factors for their throughput; the simulator confirms the fast endpoint.
+"""
+
+import pytest
+
+from repro.experiments import frontier
+from conftest import run_once
+
+
+def test_frontier(benchmark, save_artifact):
+    rows = run_once(benchmark, frontier.run)
+    save_artifact("frontier", frontier.render(rows))
+
+    assert len(rows) == 6
+    for r in rows:
+        assert r.tp_optimal >= r.lat_optimal_tp * (1 - 1e-9)
+        assert r.tp_optimal_latency >= r.lat_optimal_latency * (1 - 1e-9)
+        assert len(r.frontier) >= 1
+        # The simulator confirms the fast endpoint's throughput.
+        assert r.measured_fast_tp == pytest.approx(r.tp_optimal, rel=0.10)
+
+    # Replication-heavy programs pay real latency for their throughput.
+    heavy = [r for r in rows if "256" in r.workload.chain.name]
+    assert all(r.latency_span > 2.0 for r in heavy)

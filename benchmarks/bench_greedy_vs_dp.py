@@ -1,0 +1,18 @@
+"""X2 — §6.3 key result: "for all cases the dynamic programming and the
+greedy algorithms reached the same optimal mapping"."""
+
+from repro.experiments import greedy_vs_dp
+from conftest import run_once
+
+
+def test_greedy_vs_dp(benchmark, save_artifact):
+    rows = run_once(benchmark, lambda: greedy_vs_dp.run(synthetic_cases=30))
+    save_artifact("greedy_vs_dp", greedy_vs_dp.render(rows))
+
+    paper_row = rows[0]
+    assert paper_row.agree == paper_row.cases      # all paper workloads agree
+    synth = rows[1]
+    assert synth.agreement_rate >= 0.8             # near-universal agreement
+    assert synth.worst_gap < 0.10                  # never far from optimal
+    # Backtracking may only help.
+    assert synth.agree >= synth.agree_no_backtrack

@@ -1,0 +1,25 @@
+"""X12 — prediction error vs communication interference (§6.4).
+
+Shape asserted: with interference off the model is exact; error grows
+monotonically with the interference level; and the paper's observed ±12 %
+band corresponds to moderate levels (error stays under ~10 % through the
+0.1/transfer level and exceeds it only beyond)."""
+
+import pytest
+
+from repro.experiments import interference
+from conftest import run_once
+
+
+def test_interference(benchmark, save_artifact):
+    points = run_once(benchmark, interference.run)
+    save_artifact("interference", interference.render(points))
+
+    assert points[0].interference == 0.0
+    assert points[0].error == pytest.approx(0.0, abs=1e-6)
+    errors = [abs(p.error) for p in points]
+    assert errors == sorted(errors)
+    mid = [p for p in points if p.interference == 0.1][0]
+    assert abs(mid.error) < 0.10
+    worst = points[-1]
+    assert abs(worst.error) > 0.10

@@ -1,0 +1,24 @@
+"""X13 — what the paper's chain-only model costs on a forked program.
+
+Shape asserted: for throughput, the linearised stereo does **not** lose to
+the true fork/join mapping (replication already extracts the branch
+parallelism, and the explicit fork pays serialised per-branch transfers) —
+evidence that the paper's linearisation is a sound modelling choice for
+its objective.  Both predictions are confirmed by their simulators.
+"""
+
+import pytest
+
+from repro.experiments import linearization
+from conftest import run_once
+
+
+def test_linearization(benchmark, save_artifact):
+    res = run_once(benchmark, linearization.run)
+    save_artifact("linearization", linearization.render(res))
+
+    # Predictions are honest on both sides.
+    assert res.linear_measured == pytest.approx(res.linear_predicted, rel=0.02)
+    assert res.fj_measured == pytest.approx(res.fj_predicted, rel=0.02)
+    # Linearisation does not lose throughput.
+    assert res.linear_measured >= res.fj_measured * 0.95

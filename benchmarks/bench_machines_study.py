@@ -1,0 +1,28 @@
+"""X7 — the same program across the Fx target machines (§1's machine list).
+
+Shape asserted: the optimal mapping adapts to the communication regime —
+the memory-tight iWarp forces the two-module clustering, while
+memory-abundant machines unlock full replication; the slow-network PVM
+cluster gains the least from task parallelism.
+"""
+
+from repro.experiments import machines_study
+from conftest import run_once
+
+
+def test_machines_study(benchmark, save_artifact):
+    rows = run_once(benchmark, machines_study.run)
+    save_artifact("machines_study", machines_study.render(rows))
+
+    by_name = {r.machine.name: r for r in rows}
+    assert len(rows) == 5
+
+    # iWarp (0.5 MB/cell): the paper's two-module structure.
+    assert by_name["iwarp64/message"].modules == 2
+    # Paragon (16 MB/node): memory no longer binds -> full replication.
+    assert by_name["paragon128"].max_replication > 16
+    # Ethernet PVM cluster: transfers cost milliseconds; little to gain.
+    assert by_name["pvm-cluster8"].ratio < 2.0
+    # Every machine: optimal at least matches data parallel.
+    for r in rows:
+        assert r.ratio >= 1.0 - 1e-9

@@ -1,0 +1,23 @@
+"""X8 — memory constraints shape the mapping (§6.3's reasoning, swept).
+
+Shape asserted: as per-processor memory grows, the minimum instance sizes
+fall and replication rises monotonically (the §3.2/§6.3 mechanism), and
+throughput never decreases.
+"""
+
+from repro.experiments import memory_study
+from conftest import run_once
+
+
+def test_memory_study(benchmark, save_artifact):
+    points = run_once(benchmark, memory_study.run)
+    save_artifact("memory_study", memory_study.render(points))
+
+    assert len(points) >= 4
+    reps = [p.max_replication for p in points]
+    assert all(b >= a for a, b in zip(reps, reps[1:]))
+    tps = [p.throughput for p in points]
+    assert all(b >= a * (1 - 1e-9) for a, b in zip(tps, tps[1:]))
+    # Tight memory forces big instances; abundant memory allows 1-2 procs.
+    assert points[0].min_instance >= 4
+    assert points[-1].min_instance <= 2

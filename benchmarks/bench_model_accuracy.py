@@ -1,0 +1,16 @@
+"""X1 — §6.3 model-accuracy claim: predicted vs measured times from the
+8-execution training set differ by less than 10 % on average."""
+
+from repro.experiments import model_accuracy
+from conftest import run_once
+
+
+def test_model_accuracy(benchmark, save_artifact):
+    rows = run_once(benchmark, model_accuracy.run)
+    save_artifact("model_accuracy", model_accuracy.render(rows))
+
+    assert len(rows) == 6
+    mean = sum(r.mean_abs_error for r in rows) / len(rows)
+    assert mean < 0.10                      # the paper's headline bound
+    for r in rows:
+        assert r.max_abs_error < 0.15       # no pathological outlier

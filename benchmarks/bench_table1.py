@@ -1,0 +1,43 @@
+"""T1 — regenerate Table 1: optimal & feasible-optimal FFT-Hist mappings.
+
+Paper shapes asserted: the {colffts} + {rowffts,hist} clustering in all
+four configurations; small instances with heavy replication at 256² and
+large instances with replication <= 3 at 512²; feasibility constraints
+changing at least one 512² mapping (the paper's 13 -> 12 adjustment class);
+throughputs within 20 % of the published values.
+"""
+
+import pytest
+
+from repro.experiments import table1
+from conftest import run_once
+
+
+@pytest.fixture(scope="module")
+def rows():
+    return table1.run()
+
+
+def test_table1(benchmark, save_artifact):
+    rows = run_once(benchmark, table1.run)
+    save_artifact("table1", table1.render(rows))
+
+    assert len(rows) == 4
+    for row in rows:
+        assert row.optimal_mapping.clustering == ((0, 0), (1, 2))
+        paper_tp = row.workload.paper["table1"]["throughput"]
+        assert row.optimal_throughput == pytest.approx(paper_tp, rel=0.2)
+        assert row.feasible_throughput <= row.optimal_throughput * (1 + 1e-9)
+
+    for row in rows:
+        specs = row.optimal_mapping.mapping.modules
+        if "256" in row.workload.chain.name:
+            assert all(s.replicas >= 5 for s in specs)
+        else:
+            assert all(s.replicas <= 3 for s in specs)
+
+    assert any(
+        r.feasible_mapping.mapping != r.optimal_mapping.mapping
+        for r in rows
+        if "512" in r.workload.chain.name
+    )

@@ -1,0 +1,19 @@
+"""X5 — Theorem 1 & 2 validation (§4.1): slowest-only greedy is optimal
+under monotone communication; plain greedy overallocates at most two
+processors per task under convex computation-dominated costs."""
+
+from repro.experiments import theorems
+from conftest import run_once
+
+
+def test_theorems(benchmark, save_artifact):
+    reports = run_once(
+        benchmark,
+        lambda: [theorems.run_theorem1(cases=25), theorems.run_theorem2(cases=25)],
+    )
+    save_artifact("theorems", theorems.render(reports))
+
+    t1, t2 = reports
+    assert t1.optimal_hits == t1.cases        # Theorem 1: always optimal
+    assert t2.max_overallocation <= 2         # Theorem 2's bound
+    assert t2.worst_gap < 0.05                # and near-optimal throughput

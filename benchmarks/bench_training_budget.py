@@ -1,0 +1,21 @@
+"""X9 — model accuracy vs training budget (§6.3: eight executions suffice;
+more would help only marginally, because the residual is model error —
+the true costs contain terms outside the fitted polynomial family — not
+sampling noise)."""
+
+from repro.experiments import training_budget
+from conftest import run_once
+
+
+def test_training_budget(benchmark, save_artifact):
+    points = run_once(benchmark, training_budget.run)
+    save_artifact("training_budget", training_budget.render(points))
+
+    assert len(points) >= 3
+    # Every budget (even 4 runs) keeps prediction error under the paper's 10%.
+    for p in points:
+        assert p.mean_abs_error < 0.10
+    # Extra runs buy little: the 8-run and max-budget errors are within 3pp.
+    by_runs = {p.runs_used: p for p in points}
+    eight = min(by_runs, key=lambda r: abs(r - 8))
+    assert abs(by_runs[eight].mean_abs_error - points[-1].mean_abs_error) < 0.03

@@ -1,0 +1,41 @@
+"""Shared helpers for the benchmark harness.
+
+Every benchmark regenerates one of the paper's tables or figures: it runs
+the experiment once under ``pytest-benchmark`` timing (single round — these
+are end-to-end reproductions, not microbenchmarks), asserts the shapes the
+paper reports, and writes the rendered artifact to ``benchmarks/out/``.
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+
+import pytest
+
+OUT_DIR = Path(os.environ.get("REPRO_OUT_DIR", Path(__file__).parent / "out"))
+
+
+@pytest.fixture(scope="session")
+def artifact_dir() -> Path:
+    OUT_DIR.mkdir(parents=True, exist_ok=True)
+    return OUT_DIR
+
+
+@pytest.fixture
+def save_artifact(artifact_dir):
+    """Write a rendered table/figure to benchmarks/out/<name>.txt."""
+
+    def save(name: str, text: str) -> Path:
+        path = artifact_dir / f"{name}.txt"
+        path.write_text(text + "\n")
+        print(f"\n[artifact] {path}")
+        print(text)
+        return path
+
+    return save
+
+
+def run_once(benchmark, fn):
+    """Benchmark an experiment with a single timed round."""
+    return benchmark.pedantic(fn, rounds=1, iterations=1, warmup_rounds=0)

@@ -1,0 +1,53 @@
+#!/usr/bin/env python
+"""FFT-Hist walk-through — the paper's §6 evaluation on one page.
+
+For FFT-Hist at both problem sizes on the message-passing iWarp model:
+
+1. profile the program with 8 training executions and fit the §5 models;
+2. map it with the DP and greedy algorithms (they should agree, §6.3);
+3. constrain the mapping to the machine's geometry (§6.1);
+4. measure the mapping on the simulator and compare with the prediction;
+5. draw the Figure-6-style layout.
+
+Run:  python examples/fft_hist_mapping.py
+"""
+
+from repro.machine import iwarp64_message
+from repro.sim import NoiseModel
+from repro.tools import auto_map, format_mapping, grid_diagram, measure
+from repro.workloads import fft_hist
+
+
+def main() -> None:
+    for n in (256, 512):
+        wl = fft_hist(n, iwarp64_message())
+        print(f"=== {wl.name}: {wl.description}")
+
+        plan = auto_map(wl, profile_noise=NoiseModel(seed=1, jitter=0.02))
+        print(f"  training runs : {plan.estimation.training_runs}")
+        print(f"  DP mapping    : {format_mapping(plan.optimal.mapping, wl.chain)}"
+              f"  ({plan.optimal.throughput:.2f}/s)")
+        print(f"  greedy mapping: {format_mapping(plan.heuristic.mapping, wl.chain)}"
+              f"  ({plan.heuristic.throughput:.2f}/s)"
+              f"  agree={plan.solvers_agree}")
+        print(f"  feasible      : {format_mapping(plan.mapping, wl.chain)}"
+              f"  ({plan.predicted_throughput:.2f}/s)")
+
+        result = measure(
+            wl, plan.mapping, n_datasets=200,
+            noise=NoiseModel(seed=2, jitter=0.02, comm_interference=0.015),
+        )
+        diff = 100 * (result.throughput - plan.predicted_throughput) / plan.predicted_throughput
+        print(f"  measured      : {result.throughput:.2f}/s ({diff:+.1f}% vs predicted)")
+        paper = wl.paper["table1"]
+        print(f"  paper         : p1={paper['p1']} r1={paper['r1']} "
+              f"p2={paper['p2']} r2={paper['r2']} at {paper['throughput']}/s")
+
+        placements = plan.feasible.report.placements
+        if placements:
+            print(grid_diagram(placements, wl.machine))
+        print()
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,6 @@
+"""Shim so `pip install -e . --no-build-isolation` works on environments
+without the `wheel` package (legacy setup.py develop path)."""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,36 @@
+"""repro — a reproduction of Subhlok & Vondran, *Optimal Mapping of
+Sequences of Data Parallel Tasks* (PPoPP 1995).
+
+The library maps pipelines of data-parallel tasks onto a parallel machine
+to maximise throughput, deciding clustering, replication, and processor
+allocation, exactly as the paper's automatic mapping tool for the Fx
+compiler did.  Quick start::
+
+    from repro import workloads, machine, core
+
+    mach = machine.iwarp64_message()
+    chain = workloads.fft_hist(n=256, machine=mach).chain
+    best = core.optimal_mapping(chain, mach.total_procs, mach.mem_per_proc_mb)
+    print(best.mapping, best.throughput)
+
+Subpackages
+-----------
+``repro.core``
+    Cost models, task chains, the DP and greedy mappers, baselines.
+``repro.machine``
+    Machine descriptions, grid topology, rectangular/systolic feasibility.
+``repro.sim``
+    Discrete-event pipeline simulator (the "measured" substrate).
+``repro.estimate``
+    Profile-driven cost-model fitting (paper §5).
+``repro.workloads``
+    FFT-Hist, narrowband tracking radar, multibaseline stereo, synthetic.
+``repro.tools``
+    The end-to-end automatic mapping tool, reports, diagrams, CLI.
+"""
+
+from . import core
+
+__version__ = "1.0.0"
+
+__all__ = ["core", "__version__"]

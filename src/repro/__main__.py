@@ -1,0 +1,7 @@
+"""``python -m repro`` — the automatic mapping tool CLI."""
+
+import sys
+
+from .tools.cli import main
+
+sys.exit(main())

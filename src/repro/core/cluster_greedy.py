@@ -1,0 +1,120 @@
+"""Fast heuristic mapping: greedy clustering + greedy assignment (paper §4.2).
+
+Clustering is a coarse decision: mappings near the optimum typically share
+one clustering (§4), so the heuristic first searches clusterings with an
+*approximate* notion of allocation, then refines.  Starting from the
+clustering where every task is its own module, it hill-climbs over the
+neighbourhood {merge one adjacent module pair, split one module at one
+internal boundary}, scoring each candidate clustering with a full greedy
+assignment (cheap: ``O(P k)``), "then check[s] if the merged tasks should be
+separated" — until no neighbour improves.  The final clustering is re-solved
+with the greedy assignment (optionally with the Theorem-2 backtracking
+post-pass) to produce the mapping.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .exceptions import InfeasibleError
+from .greedy import GreedyResult, greedy_assignment
+from .mapping import Mapping, singleton_clustering
+from .response import MappingPerformance, build_module_chain
+from .task import TaskChain
+
+__all__ = ["HeuristicResult", "heuristic_mapping"]
+
+
+@dataclass
+class HeuristicResult:
+    """Outcome of the §4 heuristic mapper."""
+
+    clustering: tuple[tuple[int, int], ...]
+    totals: list[int]
+    performance: MappingPerformance
+    clusterings_examined: int
+    rounds: int
+
+    @property
+    def mapping(self) -> Mapping:
+        return self.performance.mapping
+
+    @property
+    def throughput(self) -> float:
+        return self.performance.throughput
+
+
+def _score(chain, clustering, P, mem, replication) -> float:
+    """Throughput of a clustering under a quick greedy assignment, or -inf."""
+    mchain = build_module_chain(chain, clustering, mem)
+    if mchain.total_min_procs > P:
+        return float("-inf")
+    try:
+        res = greedy_assignment(mchain, P, replication=replication)
+    except InfeasibleError:
+        return float("-inf")
+    return res.throughput
+
+
+def _neighbours(clustering: tuple[tuple[int, int], ...]):
+    """Yield clusterings one merge or one split away."""
+    spans = list(clustering)
+    for i in range(len(spans) - 1):  # merges
+        merged = spans[:i] + [(spans[i][0], spans[i + 1][1])] + spans[i + 2 :]
+        yield tuple(merged)
+    for i, (a, b) in enumerate(spans):  # splits
+        for cut in range(a, b):
+            split = spans[:i] + [(a, cut), (cut + 1, b)] + spans[i + 1 :]
+            yield tuple(split)
+
+
+def heuristic_mapping(
+    chain: TaskChain,
+    total_procs: int,
+    mem_per_proc_mb: float = float("inf"),
+    replication: bool = True,
+    backtracking: bool = True,
+    max_rounds: int = 64,
+) -> HeuristicResult:
+    """Run the full §4 heuristic: clustering search + greedy assignment."""
+    k = len(chain)
+    P = int(total_procs)
+    current = singleton_clustering(k)
+    best_score = _score(chain, current, P, mem_per_proc_mb, replication)
+    examined = 1
+    if best_score == float("-inf"):
+        # The all-singleton clustering may violate memory minimums even when
+        # merged clusterings fit; fall back to the coarsest clustering.
+        current = ((0, k - 1),)
+        best_score = _score(chain, current, P, mem_per_proc_mb, replication)
+        examined += 1
+        if best_score == float("-inf"):
+            raise InfeasibleError(
+                f"neither singleton nor fully-merged clustering of "
+                f"{chain.name!r} fits on {P} processors"
+            )
+
+    rounds = 0
+    for _ in range(max_rounds):
+        rounds += 1
+        best_nb, best_nb_score = None, best_score
+        for nb in _neighbours(current):
+            examined += 1
+            s = _score(chain, nb, P, mem_per_proc_mb, replication)
+            if s > best_nb_score * (1 + 1e-12):
+                best_nb, best_nb_score = nb, s
+        if best_nb is None:
+            break
+        current, best_score = best_nb, best_nb_score
+
+    mchain = build_module_chain(chain, current, mem_per_proc_mb)
+    final: GreedyResult = greedy_assignment(
+        mchain, P, replication=replication, backtracking=backtracking
+    )
+    return HeuristicResult(
+        clustering=current,
+        totals=final.totals,
+        performance=final.performance,
+        clusterings_examined=examined,
+        rounds=rounds,
+    )

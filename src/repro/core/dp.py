@@ -1,0 +1,184 @@
+"""Optimal processor assignment by dynamic programming (paper §3.1–§3.2).
+
+The recurrence is the paper's ``A_j(p_total, p_last, p_next)``: the optimal
+assignment of ``p_total`` processors to the first ``j`` modules given that
+module ``j`` holds ``p_last`` and module ``j+1`` holds ``p_next`` processors.
+We store the equivalent *value* table
+
+    V_j[pt, pl, pn] = minimal achievable bottleneck response over modules
+                      1..j  (module j's response is computable inside the
+                      state: it needs only q = p_{j-1}, p_last and p_next)
+
+so the optimal throughput is ``1 / min_pl V_k[P, pl, 0]`` where index 0 on
+the ``p_next`` axis encodes the paper's φ ("no next module").
+
+The transition
+
+    V_j[pt, pl, pn] = min_q  max( V_{j-1}[pt-pl, q, pl],  resp_j(q, pl, pn) )
+
+is evaluated as vectorised numpy tensor operations, giving the paper's
+``O(P^4 k)`` operation count at C speed with ``O(P^3)`` memory per stage.
+
+Replication (§3.2) is folded in through *effective* processor counts: the
+response tensors are built by :meth:`ModuleChain.response_tensor`, which
+converts total allocations into per-instance sizes and divides by the
+instance count.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+import numpy as np
+
+from .exceptions import InfeasibleError
+from .mapping import Mapping
+from .response import (
+    MappingPerformance,
+    ModuleChain,
+    evaluate_module_chain,
+    totals_to_allocations,
+)
+
+__all__ = ["DPResult", "optimal_assignment"]
+
+#: How many p_next planes to process per chunk in the stage transition;
+#: bounds peak memory at ~(P+1)^3 * chunk floats.
+_PN_CHUNK = 8
+
+
+@dataclass
+class DPResult:
+    """Outcome of the dynamic-programming assignment."""
+
+    totals: list[int]                 # total processors per module
+    performance: MappingPerformance   # evaluated optimal mapping
+    bottleneck_response: float        # the DP objective value
+    stages: int                       # number of modules
+    table_size: int                   # entries per DP table (diagnostics)
+
+    @property
+    def mapping(self) -> Mapping:
+        return self.performance.mapping
+
+    @property
+    def throughput(self) -> float:
+        return self.performance.throughput
+
+
+def _strip_replication(mchain: ModuleChain) -> ModuleChain:
+    infos = [replace(i, replicable=False) for i in mchain.infos]
+    return ModuleChain(mchain.chain, infos, mchain.ecoms)
+
+
+def optimal_assignment(
+    mchain: ModuleChain,
+    total_procs: int,
+    replication: bool = True,
+    allowed_totals=None,
+) -> DPResult:
+    """Optimal allocation of ``total_procs`` processors to a module chain.
+
+    Parameters
+    ----------
+    mchain:
+        The (already clustered) chain of modules to allocate.
+    total_procs:
+        Machine size ``P``.  The optimum may deliberately leave processors
+        idle (§3.1).
+    replication:
+        When true, each replicable module given ``p`` processors runs
+        ``floor(p / p_min)`` instances per §3.2; when false every module is
+        a single instance (the pure §3.1 problem).
+    allowed_totals:
+        Optional callable ``f(module_index) -> bool array of length P+1``
+        masking which *total* allocations a module may take — used e.g. to
+        restrict instance sizes to rectangular subarrays (§6.1 machine
+        constraints).
+
+    Returns a :class:`DPResult`; raises :class:`InfeasibleError` when the
+    per-module minimums cannot be met.
+    """
+    if total_procs < 1:
+        raise InfeasibleError("need at least one processor")
+    if not replication:
+        mchain = _strip_replication(mchain)
+    l = len(mchain)
+    P = int(total_procs)
+    if mchain.total_min_procs > P:
+        raise InfeasibleError(
+            f"modules need at least {mchain.total_min_procs} processors, "
+            f"machine has {P}"
+        )
+
+    size = (P + 1) ** 3
+    pt_idx = np.arange(P + 1)[:, None, None]
+    q_idx = np.arange(P + 1)[None, :, None]
+    pl_idx = np.arange(P + 1)[None, None, :]
+
+    V_prev: np.ndarray | None = None
+    argmin_tables: list[np.ndarray | None] = []
+
+    for j in range(l):
+        R = mchain.response_tensor(j, P)  # (q, pl, pn)
+        if allowed_totals is not None:
+            ok = np.asarray(allowed_totals(j), dtype=bool)
+            R = R.copy()
+            R[:, ~ok, :] = np.inf
+        if j == 0:
+            # Module 0 has no predecessor: response constant along q (row 0).
+            base = R[0]  # (pl, pn)
+            # pl may not exceed the budget pt.
+            over_budget = (
+                np.arange(P + 1)[None, :, None] > np.arange(P + 1)[:, None, None]
+            )  # (pt, pl, 1)
+            V = np.where(over_budget, np.inf, base[None, :, :])
+            argmin_tables.append(None)
+            V_prev = V
+            continue
+
+        # W[pt, q, pl] = V_{j-1}[pt - pl, q, pl]   (inf when pt < pl)
+        src = pt_idx - pl_idx
+        valid = src >= 0
+        W = np.where(
+            valid,
+            V_prev[np.clip(src, 0, P), q_idx, pl_idx],
+            np.inf,
+        )
+
+        V = np.empty((P + 1, P + 1, P + 1))
+        Q = np.empty((P + 1, P + 1, P + 1), dtype=np.int32)
+        for lo in range(0, P + 1, _PN_CHUNK):
+            hi = min(lo + _PN_CHUNK, P + 1)
+            # (pt, q, pl, pn_chunk)
+            T = np.maximum(W[:, :, :, None], R[None, :, :, lo:hi])
+            Q[:, :, lo:hi] = np.argmin(T, axis=1)
+            V[:, :, lo:hi] = np.min(T, axis=1)
+        argmin_tables.append(Q)
+        V_prev = V
+
+    final = V_prev[P, :, 0]  # over pl
+    best_pl = int(np.argmin(final))
+    best_val = float(final[best_pl])
+    if not np.isfinite(best_val):
+        raise InfeasibleError(
+            f"no feasible assignment of {P} processors to {l} modules"
+        )
+
+    # Reconstruct totals right-to-left.
+    totals = [0] * l
+    totals[l - 1] = best_pl
+    pt, pl, pn = P, best_pl, 0
+    for j in range(l - 1, 0, -1):
+        q = int(argmin_tables[j][pt, pl, pn])
+        totals[j - 1] = q
+        pt, pl, pn = pt - pl, q, pl
+    allocations = totals_to_allocations(mchain, totals)
+    perf = evaluate_module_chain(mchain, allocations)
+    return DPResult(
+        totals=totals,
+        performance=perf,
+        bottleneck_response=best_val,
+        stages=l,
+        table_size=size,
+    )

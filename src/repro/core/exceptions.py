@@ -1,0 +1,38 @@
+"""Error types raised by the :mod:`repro` library.
+
+Every exception the library raises deliberately derives from
+:class:`ReproError`, so callers can catch one type at an API boundary.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class of all errors raised by the repro library."""
+
+
+class InvalidChainError(ReproError):
+    """A task chain is structurally invalid (empty, mismatched edges, ...)."""
+
+
+class InvalidMappingError(ReproError):
+    """A mapping violates a structural rule (non-contiguous module, overlap,
+    task missing or duplicated, replication of a non-replicable task, ...)."""
+
+
+class InfeasibleError(ReproError):
+    """No mapping exists under the given resource constraints.
+
+    Raised e.g. when the sum of per-module minimum processor counts exceeds
+    the machine size, or when no rectangular packing of the module instances
+    onto the processor grid exists.
+    """
+
+
+class ModelFitError(ReproError):
+    """The cost-model fitting procedure could not produce a usable model
+    (singular design matrix, too few samples, non-finite measurements)."""
+
+
+class SimulationError(ReproError):
+    """The discrete-event simulator was driven into an invalid state."""

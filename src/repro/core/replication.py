@@ -1,0 +1,64 @@
+"""Replication rule and effective processor counts (paper §3.2).
+
+Under the paper's no-superlinear-speedup assumption it is always profitable
+to replicate maximally subject to memory constraints: a replicable module
+given ``p`` processors runs ``r = floor(p / p_min)`` instances, dividing the
+processors equally, so each instance uses the *effective* count
+``s = floor(p / r)`` and the module's *effective response time* is
+``f(s) / r``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = [
+    "split_replicas",
+    "effective_tables",
+    "check_no_superlinear",
+]
+
+
+def split_replicas(total: int, p_min: int, replicable: bool) -> tuple[int, int]:
+    """Return ``(replicas, procs_per_instance)`` for ``total`` processors.
+
+    Returns ``(0, 0)`` when ``total < p_min`` (the allocation is infeasible).
+    """
+    if total < p_min:
+        return (0, 0)
+    if not replicable:
+        return (1, total)
+    r = total // p_min
+    return (r, total // r)
+
+
+def effective_tables(
+    max_procs: int, p_min: int, replicable: bool
+) -> tuple[np.ndarray, np.ndarray]:
+    """Vectorised :func:`split_replicas` over totals ``0..max_procs``.
+
+    Returns ``(r, s)`` integer arrays of length ``max_procs + 1`` where
+    ``r[p]`` is the instance count and ``s[p]`` the per-instance size for a
+    total allocation of ``p``; both are 0 for infeasible totals.
+    """
+    totals = np.arange(max_procs + 1)
+    if replicable:
+        r = totals // p_min
+    else:
+        r = (totals >= p_min).astype(np.int64)
+    s = np.zeros_like(totals)
+    ok = r > 0
+    s[ok] = totals[ok] // r[ok]
+    return r, s
+
+
+def check_no_superlinear(cost, max_procs: int, rtol: float = 1e-9) -> bool:
+    """Check the §3.2 assumption for a unary cost: adding a processor to ``p``
+    shrinks the cost by a factor of at most ``p/(p+1)``, i.e.
+    ``f(p+1) >= f(p) * p / (p+1)``.
+    """
+    p = np.arange(1, max_procs)
+    f = cost(p.astype(float))
+    g = cost((p + 1).astype(float))
+    bound = f * p / (p + 1)
+    return bool(np.all(g >= bound * (1 - rtol)))

@@ -1,0 +1,346 @@
+"""Response-time and throughput evaluation (paper §2.1–§2.2).
+
+The response time of module ``i`` is
+
+    f_i = f_com(in) + f_exec_i + f_com(out)
+
+evaluated at the *effective* (per-instance) processor counts of the module
+and its neighbours, and the throughput of a mapping is the reciprocal of the
+slowest — bottleneck — effective response ``max_i f_i / r_i``.
+
+This module also provides :class:`ModuleChain`, the precomputed view of a
+chain under a fixed clustering that the DP and greedy solvers operate on:
+per-module execution functions (task costs plus swallowed internal
+communication), boundary external-communication functions, memory-derived
+minimum processor counts, and replication tables.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from .cost import BinaryCost, SumUnary, UnaryCost
+from .exceptions import InfeasibleError, InvalidMappingError
+from .mapping import Mapping, ModuleSpec
+from .replication import effective_tables, split_replicas
+from .task import TaskChain
+
+__all__ = [
+    "ModuleInfo",
+    "ModuleChain",
+    "build_module_chain",
+    "MappingPerformance",
+    "evaluate_module_chain",
+    "evaluate_mapping",
+]
+
+#: Default per-processor memory when no machine is specified: effectively
+#: unlimited, so p_min degenerates to the tasks' explicit minimums.
+UNLIMITED_MEMORY_MB = float("inf")
+
+
+@dataclass
+class ModuleInfo:
+    """Static characteristics of one module under a fixed clustering."""
+
+    start: int
+    stop: int
+    exec_cost: UnaryCost
+    p_min: int
+    replicable: bool
+
+    @property
+    def ntasks(self) -> int:
+        return self.stop - self.start + 1
+
+
+class ModuleChain:
+    """A chain of modules: what the assignment solvers actually map.
+
+    ``infos[i]`` describes module ``i``; ``ecoms[i]`` is the external
+    communication cost between modules ``i`` and ``i+1``.
+    """
+
+    def __init__(self, chain: TaskChain, infos: list[ModuleInfo], ecoms: list[BinaryCost]):
+        if len(ecoms) != len(infos) - 1:
+            raise InvalidMappingError("module chain needs l-1 boundary communications")
+        self.chain = chain
+        self.infos = infos
+        self.ecoms = ecoms
+
+    def __len__(self) -> int:
+        return len(self.infos)
+
+    @property
+    def total_min_procs(self) -> int:
+        return sum(m.p_min for m in self.infos)
+
+    def clustering(self) -> tuple[tuple[int, int], ...]:
+        return tuple((m.start, m.stop) for m in self.infos)
+
+    # -- effective-size tables (for the vectorised DP) --------------------
+    def effective(self, max_procs: int) -> tuple[np.ndarray, np.ndarray]:
+        """Stacked replication tables: ``(R, S)`` of shape ``(l, max_procs+1)``
+        where ``R[i, p]``/``S[i, p]`` are instance count / instance size for
+        module ``i`` given a total allocation ``p`` (0 when infeasible)."""
+        rs, ss = [], []
+        for m in self.infos:
+            r, s = effective_tables(max_procs, m.p_min, m.replicable)
+            rs.append(r)
+            ss.append(s)
+        return np.stack(rs), np.stack(ss)
+
+    def response_tensor(self, i: int, max_procs: int) -> np.ndarray:
+        """Effective response of module ``i`` for every allocation triple.
+
+        Returns ``R`` with ``R[q, pl, pn]`` = effective response time of
+        module ``i`` when modules ``i-1``, ``i``, ``i+1`` hold ``q``, ``pl``,
+        ``pn`` *total* processors.  Index 0 on the ``q``/``pn`` axes encodes
+        "no such neighbour" (the paper's φ); infeasible ``pl`` gives +inf.
+        """
+        P = max_procs
+        info = self.infos[i]
+        _, s_self = effective_tables(P, info.p_min, info.replicable)
+        r_self, _ = effective_tables(P, info.p_min, info.replicable)
+        sl = s_self.astype(float)
+        feasible = r_self > 0
+
+        exec_part = np.full(P + 1, np.inf)
+        exec_part[feasible] = info.exec_cost(sl[feasible])
+
+        # Incoming communication: tensor over (q, pl).
+        if i > 0:
+            prev = self.infos[i - 1]
+            _, s_prev = effective_tables(P, prev.p_min, prev.replicable)
+            com_in = _ecom_grid(self.ecoms[i - 1], s_prev, s_self)  # (q, pl)
+        else:
+            com_in = np.zeros((P + 1, P + 1))
+            com_in[:, ~feasible] = np.inf
+        # Outgoing communication: tensor over (pl, pn).
+        if i < len(self.infos) - 1:
+            nxt = self.infos[i + 1]
+            _, s_next = effective_tables(P, nxt.p_min, nxt.replicable)
+            com_out = _ecom_grid(self.ecoms[i], s_self, s_next)  # (pl, pn)
+        else:
+            com_out = np.zeros((P + 1, P + 1))
+            com_out[~feasible, :] = np.inf
+
+        resp = (
+            com_in[:, :, None]
+            + exec_part[None, :, None]
+            + com_out[None, :, :]
+        )
+        with np.errstate(invalid="ignore", divide="ignore"):
+            denom = np.where(feasible, r_self, 1).astype(float)
+            resp = resp / denom[None, :, None]
+        resp[:, ~feasible, :] = np.inf
+        return resp
+
+
+def _ecom_grid(ecom: BinaryCost, s_a: np.ndarray, s_b: np.ndarray) -> np.ndarray:
+    """Evaluate an external-communication model on the grid of effective
+    sizes, with index 0 (= "no neighbour"/infeasible) giving 0 on the
+    neighbour axis and +inf on the module's own axis handled by callers."""
+    P = len(s_a) - 1
+    grid = np.zeros((P + 1, P + 1))
+    ok_a = s_a > 0
+    ok_b = s_b > 0
+    aa = s_a[ok_a].astype(float)
+    bb = s_b[ok_b].astype(float)
+    vals = ecom(aa[:, None], bb[None, :])
+    grid[np.ix_(ok_a, ok_b)] = vals
+    grid[~ok_a, :] = np.inf
+    grid[:, ~ok_b] = np.inf
+    # Index 0 means "no neighbour": communication with a non-existent
+    # neighbour costs nothing, but an infeasible *own* allocation must stay
+    # infinite; callers orient the axes accordingly.
+    grid[0, :] = 0.0
+    grid[:, 0] = 0.0
+    return grid
+
+
+def module_exec_cost(chain: TaskChain, start: int, stop: int) -> UnaryCost:
+    """Execution cost of the module ``start..stop``: the sum of its tasks'
+    execution costs plus the internal communication of swallowed edges
+    (§3.3 — composable in O(1) from constituent characteristics)."""
+    parts: list[UnaryCost] = [t.exec_cost for t in chain.segment_tasks(start, stop)]
+    for e in range(start, stop):
+        parts.append(chain.edges[e].icom)
+    if len(parts) == 1:
+        return parts[0]
+    return SumUnary(parts)
+
+
+def build_module_chain(
+    chain: TaskChain,
+    clustering: Sequence[tuple[int, int]],
+    mem_per_proc_mb: float = UNLIMITED_MEMORY_MB,
+) -> ModuleChain:
+    """Compose the module-level view of ``chain`` under ``clustering``."""
+    spans = list(clustering)
+    if spans[0][0] != 0 or spans[-1][1] != len(chain) - 1:
+        raise InvalidMappingError(f"clustering {spans} does not cover the chain")
+    infos = []
+    for start, stop in spans:
+        if infos and start != infos[-1].stop + 1:
+            raise InvalidMappingError(f"clustering {spans} is not contiguous")
+        if mem_per_proc_mb == UNLIMITED_MEMORY_MB:
+            p_min = max(t.min_procs for t in chain.segment_tasks(start, stop))
+        else:
+            p_min = chain.segment_min_procs(start, stop, mem_per_proc_mb)
+        infos.append(
+            ModuleInfo(
+                start=start,
+                stop=stop,
+                exec_cost=module_exec_cost(chain, start, stop),
+                p_min=p_min,
+                replicable=chain.segment_replicable(start, stop),
+            )
+        )
+    ecoms = [chain.edges[info.stop].ecom for info in infos[:-1]]
+    return ModuleChain(chain, infos, ecoms)
+
+
+# ---------------------------------------------------------------------------
+# Evaluation of concrete mappings
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class MappingPerformance:
+    """Predicted steady-state performance of one mapping."""
+
+    mapping: Mapping
+    responses: list[float]            # per-module response time (one instance)
+    effective_responses: list[float]  # response / replicas
+    bottleneck: int                   # index of the slowest module
+    throughput: float                 # data sets per second
+    latency: float                    # end-to-end seconds for one data set
+
+    def __repr__(self):
+        return (
+            f"MappingPerformance(throughput={self.throughput:.4g}/s, "
+            f"latency={self.latency:.4g}s, bottleneck=module {self.bottleneck})"
+        )
+
+
+def evaluate_module_chain(
+    mchain: ModuleChain, allocations: Sequence[tuple[int, int]]
+) -> MappingPerformance:
+    """Evaluate explicit per-module ``(procs_per_instance, replicas)`` pairs.
+
+    Responses follow §2.1: incoming external communication + execution +
+    outgoing external communication, at the instance sizes of the modules
+    involved; module ``i``'s effective response divides by its replica count.
+    """
+    l = len(mchain)
+    if len(allocations) != l:
+        raise InvalidMappingError(f"need {l} allocations, got {len(allocations)}")
+    sizes = [p for p, _ in allocations]
+    reps = [r for _, r in allocations]
+    for info, p, r in zip(mchain.infos, sizes, reps):
+        if p < info.p_min:
+            raise InfeasibleError(
+                f"module [{info.start}..{info.stop}] needs >= {info.p_min} "
+                f"processors per instance, got {p}"
+            )
+        if r > 1 and not info.replicable:
+            raise InvalidMappingError(
+                f"module [{info.start}..{info.stop}] is not replicable"
+            )
+
+    comms = [float(mchain.ecoms[i](sizes[i], sizes[i + 1])) for i in range(l - 1)]
+    responses = []
+    for i, info in enumerate(mchain.infos):
+        t = float(info.exec_cost(sizes[i]))
+        if i > 0:
+            t += comms[i - 1]
+        if i < l - 1:
+            t += comms[i]
+        responses.append(t)
+    effective = [t / r for t, r in zip(responses, reps)]
+    bottleneck = int(np.argmax(effective))
+    throughput = 1.0 / effective[bottleneck] if effective[bottleneck] > 0 else float("inf")
+    latency = sum(float(info.exec_cost(sizes[i])) for i, info in enumerate(mchain.infos))
+    latency += sum(comms)
+
+    modules = [
+        ModuleSpec(info.start, info.stop, sizes[i], reps[i])
+        for i, info in enumerate(mchain.infos)
+    ]
+    return MappingPerformance(
+        mapping=Mapping(modules),
+        responses=responses,
+        effective_responses=effective,
+        bottleneck=bottleneck,
+        throughput=throughput,
+        latency=latency,
+    )
+
+
+def evaluate_mapping(
+    chain: TaskChain,
+    mapping: Mapping,
+    mem_per_proc_mb: float = UNLIMITED_MEMORY_MB,
+) -> MappingPerformance:
+    """Evaluate a fully explicit :class:`Mapping` against a chain."""
+    mapping.validate(chain)
+    mchain = build_module_chain(chain, mapping.clustering(), mem_per_proc_mb)
+    allocations = [(m.procs, m.replicas) for m in mapping.modules]
+    return evaluate_module_chain(mchain, allocations)
+
+
+def throughput_of_totals(
+    mchain: ModuleChain, totals: Sequence[int]
+) -> tuple[float, list[float]]:
+    """Throughput and per-module effective responses for *total* allocations.
+
+    Applies the §3.2 maximal-replication rule to each module.  Infeasible
+    totals (below the module minimum) yield ``inf`` responses and zero
+    throughput rather than raising, so search algorithms can probe freely.
+    """
+    l = len(mchain)
+    sizes = [0] * l
+    reps = [0] * l
+    for i, (info, p) in enumerate(zip(mchain.infos, totals)):
+        r, s = split_replicas(int(p), info.p_min, info.replicable)
+        sizes[i], reps[i] = s, r
+    effective = [float("inf")] * l
+    comms = [0.0] * max(l - 1, 0)
+    for i in range(l - 1):
+        if sizes[i] > 0 and sizes[i + 1] > 0:
+            comms[i] = float(mchain.ecoms[i](sizes[i], sizes[i + 1]))
+        else:
+            comms[i] = float("inf")
+    for i, info in enumerate(mchain.infos):
+        if reps[i] == 0:
+            continue
+        t = float(info.exec_cost(sizes[i]))
+        if i > 0:
+            t += comms[i - 1]
+        if i < l - 1:
+            t += comms[i]
+        effective[i] = t / reps[i]
+    worst = max(effective)
+    tp = 0.0 if not np.isfinite(worst) or worst <= 0 else 1.0 / worst
+    return tp, effective
+
+
+def totals_to_allocations(
+    mchain: ModuleChain, totals: Sequence[int]
+) -> list[tuple[int, int]]:
+    """Convert *total* per-module allocations into ``(instance_size, replicas)``
+    via the §3.2 maximal-replication rule."""
+    out = []
+    for info, p in zip(mchain.infos, totals):
+        r, s = split_replicas(p, info.p_min, info.replicable)
+        if r == 0:
+            raise InfeasibleError(
+                f"module [{info.start}..{info.stop}] cannot run on {p} processors "
+                f"(needs {info.p_min})"
+            )
+        out.append((s, r))
+    return out

@@ -1,0 +1,218 @@
+"""Task-chain representation (paper §2.1).
+
+A program is a linear chain of data-parallel tasks ``t_1 .. t_k``.  Each task
+carries an execution-cost function of its processor count, a memory
+footprint, and a replicability flag.  Each of the ``k-1`` edges carries two
+communication-cost functions: *internal* (both tasks on the same processor
+set — a potential data redistribution) and *external* (tasks on disjoint
+processor sets).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+from .cost import (
+    BinaryCost,
+    UnaryCost,
+    ZeroBinary,
+    ZeroUnary,
+    model_from_dict,
+)
+from .exceptions import InfeasibleError, InvalidChainError
+
+__all__ = ["Task", "Edge", "TaskChain", "min_processors"]
+
+
+@dataclass
+class Task:
+    """One data-parallel task.
+
+    Parameters
+    ----------
+    name:
+        Human-readable identifier, unique within a chain.
+    exec_cost:
+        ``f_exec(p)`` — seconds to process one data set on ``p`` processors.
+    mem_fixed_mb:
+        Memory replicated on *every* processor (globals, system, code).
+    mem_parallel_mb:
+        Memory divided across the processors of the task (distributed
+        arrays, compiler buffers).
+    replicable:
+        Whether data-dependence constraints permit processing alternate data
+        sets on distinct processor groups (§2.2).  A module is replicable
+        only if every task in it is.
+    min_procs:
+        Explicit lower bound on processors (beyond the memory-derived one),
+        e.g. an algorithmic constraint.
+    """
+
+    name: str
+    exec_cost: UnaryCost
+    mem_fixed_mb: float = 0.0
+    mem_parallel_mb: float = 0.0
+    replicable: bool = True
+    min_procs: int = 1
+
+    def __post_init__(self):
+        if self.min_procs < 1:
+            raise InvalidChainError(f"task {self.name!r}: min_procs must be >= 1")
+        if self.mem_fixed_mb < 0 or self.mem_parallel_mb < 0:
+            raise InvalidChainError(f"task {self.name!r}: negative memory footprint")
+
+    def to_dict(self) -> dict:
+        return {
+            "name": self.name,
+            "exec_cost": self.exec_cost.to_dict(),
+            "mem_fixed_mb": self.mem_fixed_mb,
+            "mem_parallel_mb": self.mem_parallel_mb,
+            "replicable": self.replicable,
+            "min_procs": self.min_procs,
+        }
+
+    @classmethod
+    def from_dict(cls, d: dict) -> "Task":
+        return cls(
+            name=d["name"],
+            exec_cost=model_from_dict(d["exec_cost"]),
+            mem_fixed_mb=d.get("mem_fixed_mb", 0.0),
+            mem_parallel_mb=d.get("mem_parallel_mb", 0.0),
+            replicable=d.get("replicable", True),
+            min_procs=d.get("min_procs", 1),
+        )
+
+
+@dataclass
+class Edge:
+    """Communication between a pair of adjacent tasks.
+
+    ``icom(p)`` applies when both endpoints share one set of ``p``
+    processors (the edge is *inside* a module); ``ecom(ps, pr)`` applies
+    when the sender runs on ``ps`` and the receiver on ``pr`` disjoint
+    processors.  Both endpoints are busy for the whole duration of an
+    external communication step (§2.1).
+    """
+
+    icom: UnaryCost = field(default_factory=ZeroUnary)
+    ecom: BinaryCost = field(default_factory=ZeroBinary)
+
+    def to_dict(self) -> dict:
+        return {"icom": self.icom.to_dict(), "ecom": self.ecom.to_dict()}
+
+    @classmethod
+    def from_dict(cls, d: dict) -> "Edge":
+        return cls(icom=model_from_dict(d["icom"]), ecom=model_from_dict(d["ecom"]))
+
+
+def min_processors(
+    mem_fixed_mb: float,
+    mem_parallel_mb: float,
+    mem_per_proc_mb: float,
+    floor: int = 1,
+) -> int:
+    """Minimum processors so the footprint fits: ``fixed + parallel/p <= M``.
+
+    Raises :class:`InfeasibleError` if the replicated footprint alone
+    exceeds per-processor memory.
+    """
+    if mem_per_proc_mb <= 0:
+        raise InfeasibleError("machine has no per-processor memory")
+    headroom = mem_per_proc_mb - mem_fixed_mb
+    if headroom <= 0:
+        raise InfeasibleError(
+            f"fixed footprint {mem_fixed_mb} MB exceeds per-processor memory "
+            f"{mem_per_proc_mb} MB"
+        )
+    need = math.ceil(mem_parallel_mb / headroom) if mem_parallel_mb > 0 else 1
+    return max(floor, need, 1)
+
+
+class TaskChain:
+    """A linear chain of tasks with its ``k-1`` communication edges."""
+
+    def __init__(self, tasks: list[Task], edges: list[Edge] | None = None, name: str = "chain"):
+        if not tasks:
+            raise InvalidChainError("a chain needs at least one task")
+        if edges is None:
+            edges = [Edge() for _ in range(len(tasks) - 1)]
+        if len(edges) != len(tasks) - 1:
+            raise InvalidChainError(
+                f"chain of {len(tasks)} tasks needs {len(tasks) - 1} edges, got {len(edges)}"
+            )
+        names = [t.name for t in tasks]
+        if len(set(names)) != len(names):
+            raise InvalidChainError(f"duplicate task names: {names}")
+        self.tasks = list(tasks)
+        self.edges = list(edges)
+        self.name = name
+
+    # -- basic container protocol ---------------------------------------
+    def __len__(self) -> int:
+        return len(self.tasks)
+
+    def __iter__(self):
+        return iter(self.tasks)
+
+    def __getitem__(self, i: int) -> Task:
+        return self.tasks[i]
+
+    def index_of(self, name: str) -> int:
+        for i, t in enumerate(self.tasks):
+            if t.name == name:
+                return i
+        raise KeyError(name)
+
+    def __repr__(self):
+        return f"TaskChain({self.name!r}, k={len(self.tasks)})"
+
+    # -- segment (module) composition ------------------------------------
+    def segment_tasks(self, start: int, stop: int) -> list[Task]:
+        """Tasks ``start .. stop`` inclusive."""
+        self._check_segment(start, stop)
+        return self.tasks[start : stop + 1]
+
+    def segment_memory(self, start: int, stop: int) -> tuple[float, float]:
+        """(fixed, parallel) MB footprint of the module ``start..stop``.
+
+        Clustering tasks adds their footprints (§6.3: "total memory
+        requirement for the combined module is higher").
+        """
+        self._check_segment(start, stop)
+        fixed = sum(t.mem_fixed_mb for t in self.tasks[start : stop + 1])
+        par = sum(t.mem_parallel_mb for t in self.tasks[start : stop + 1])
+        return fixed, par
+
+    def segment_min_procs(self, start: int, stop: int, mem_per_proc_mb: float) -> int:
+        """Minimum processors for one instance of the module ``start..stop``."""
+        fixed, par = self.segment_memory(start, stop)
+        floor = max(t.min_procs for t in self.tasks[start : stop + 1])
+        return min_processors(fixed, par, mem_per_proc_mb, floor=floor)
+
+    def segment_replicable(self, start: int, stop: int) -> bool:
+        """A module is replicable only if all its tasks are (§2.2)."""
+        self._check_segment(start, stop)
+        return all(t.replicable for t in self.tasks[start : stop + 1])
+
+    def _check_segment(self, start: int, stop: int) -> None:
+        if not (0 <= start <= stop < len(self.tasks)):
+            raise InvalidChainError(
+                f"invalid segment [{start}, {stop}] in chain of {len(self.tasks)}"
+            )
+
+    # -- serialisation ----------------------------------------------------
+    def to_dict(self) -> dict:
+        return {
+            "name": self.name,
+            "tasks": [t.to_dict() for t in self.tasks],
+            "edges": [e.to_dict() for e in self.edges],
+        }
+
+    @classmethod
+    def from_dict(cls, d: dict) -> "TaskChain":
+        return cls(
+            tasks=[Task.from_dict(t) for t in d["tasks"]],
+            edges=[Edge.from_dict(e) for e in d["edges"]],
+            name=d.get("name", "chain"),
+        )

@@ -1,0 +1,161 @@
+"""Mapping linter: human-readable diagnostics for a proposed mapping.
+
+``diagnose`` checks a mapping against a chain (and optionally a machine)
+and returns every finding — structural errors, constraint violations, and
+performance smells (idle processors, a module starving the bottleneck,
+replication left on the table).  The CLI's ``check`` command wraps it, so a
+mapping produced elsewhere (a saved JSON, a hand-written one) can be vetted
+before deployment.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+from typing import Optional
+
+from .exceptions import InfeasibleError, InvalidMappingError
+from .mapping import Mapping
+from .replication import split_replicas
+from .response import build_module_chain, evaluate_module_chain
+from .task import TaskChain
+
+__all__ = ["Severity", "Finding", "Diagnosis", "diagnose"]
+
+
+class Severity(Enum):
+    ERROR = "error"      # the mapping cannot run
+    WARNING = "warning"  # it runs, but something is off
+    INFO = "info"        # a performance observation
+
+
+@dataclass
+class Finding:
+    severity: Severity
+    code: str
+    message: str
+
+    def __str__(self):
+        return f"[{self.severity.value}] {self.code}: {self.message}"
+
+
+@dataclass
+class Diagnosis:
+    findings: list[Finding]
+    throughput: Optional[float]          # None when the mapping cannot run
+
+    @property
+    def ok(self) -> bool:
+        return not any(f.severity is Severity.ERROR for f in self.findings)
+
+    def render(self) -> str:
+        lines = [str(f) for f in self.findings]
+        if self.throughput is not None:
+            lines.append(f"predicted throughput: {self.throughput:.4g} data sets/s")
+        if not self.findings:
+            lines.insert(0, "no findings")
+        return "\n".join(lines)
+
+
+def diagnose(
+    chain: TaskChain,
+    mapping: Mapping,
+    machine=None,
+    mem_per_proc_mb: float | None = None,
+) -> Diagnosis:
+    """Run every check; never raises for mapping problems — reports them."""
+    findings: list[Finding] = []
+    mem = mem_per_proc_mb
+    total_procs = None
+    if machine is not None:
+        mem = machine.mem_per_proc_mb if mem is None else mem
+        total_procs = machine.total_procs
+    if mem is None:
+        mem = float("inf")
+
+    # Structural validity.
+    try:
+        mapping.validate(chain)
+    except InvalidMappingError as exc:
+        findings.append(Finding(Severity.ERROR, "structure", str(exc)))
+        return Diagnosis(findings, None)
+
+    # Processor budget.
+    if total_procs is not None and mapping.total_procs > total_procs:
+        findings.append(
+            Finding(
+                Severity.ERROR, "budget",
+                f"mapping uses {mapping.total_procs} processors, machine has "
+                f"{total_procs}",
+            )
+        )
+
+    # Memory minimums.
+    mchain = build_module_chain(chain, mapping.clustering(), mem)
+    perf = None
+    for spec, info in zip(mapping.modules, mchain.infos):
+        names = ",".join(t.name for t in spec.tasks_of(chain))
+        if spec.procs < info.p_min:
+            findings.append(
+                Finding(
+                    Severity.ERROR, "memory",
+                    f"module {{{names}}} needs >= {info.p_min} processors per "
+                    f"instance for its footprint, has {spec.procs}",
+                )
+            )
+    if not any(f.severity is Severity.ERROR for f in findings):
+        try:
+            perf = evaluate_module_chain(
+                mchain, [(m.procs, m.replicas) for m in mapping.modules]
+            )
+        except (InfeasibleError, InvalidMappingError) as exc:
+            findings.append(Finding(Severity.ERROR, "evaluate", str(exc)))
+
+    # Machine geometry.
+    if machine is not None and perf is not None:
+        from ..machine.feasibility import check_feasible
+
+        report = check_feasible(mapping, machine)
+        if not report.feasible:
+            findings.append(
+                Finding(Severity.ERROR, "geometry", report.reason)
+            )
+
+    if perf is None:
+        return Diagnosis(findings, None)
+
+    # Performance smells.
+    if total_procs is not None:
+        idle = total_procs - mapping.total_procs
+        if idle > max(2, total_procs // 8):
+            findings.append(
+                Finding(
+                    Severity.WARNING, "idle",
+                    f"{idle} of {total_procs} processors are idle",
+                )
+            )
+    worst = max(perf.effective_responses)
+    for i, (spec, resp) in enumerate(zip(mapping.modules, perf.effective_responses)):
+        names = ",".join(t.name for t in spec.tasks_of(chain))
+        if resp < 0.5 * worst:
+            findings.append(
+                Finding(
+                    Severity.INFO, "imbalance",
+                    f"module {{{names}}} runs at {resp / worst:.0%} of the "
+                    f"bottleneck response — processors could shift to module "
+                    f"{perf.bottleneck + 1}",
+                )
+            )
+        info = mchain.infos[i]
+        if info.replicable and spec.replicas == 1:
+            r_max, s = split_replicas(spec.total_procs, info.p_min, True)
+            if r_max > 1:
+                findings.append(
+                    Finding(
+                        Severity.INFO, "replication",
+                        f"module {{{names}}} is replicable and could run "
+                        f"{r_max} instances of {s} processors (§3.2 suggests "
+                        f"replicating maximally)",
+                    )
+                )
+    return Diagnosis(findings, perf.throughput)

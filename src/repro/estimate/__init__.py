@@ -1,0 +1,31 @@
+"""Execution-behaviour estimation (paper §5): training-set design,
+profiling via the simulator, and polynomial model fitting."""
+
+from .estimator import EstimationResult, estimate_chain, validate_model
+from .fitting import (
+    FitDiagnostics,
+    fit_ecom,
+    fit_exec,
+    fit_icom,
+    fit_memory,
+    fit_tabulated_binary,
+    fit_tabulated_unary,
+)
+from .profiler import ProfileData, profile_chain
+from .training import training_mappings
+
+__all__ = [
+    "EstimationResult",
+    "estimate_chain",
+    "validate_model",
+    "FitDiagnostics",
+    "fit_exec",
+    "fit_icom",
+    "fit_ecom",
+    "fit_memory",
+    "fit_tabulated_unary",
+    "fit_tabulated_binary",
+    "ProfileData",
+    "profile_chain",
+    "training_mappings",
+]

@@ -1,0 +1,176 @@
+"""End-to-end execution-behaviour estimation (paper §5).
+
+``estimate_chain`` reproduces the paper's feedback loop: run the program
+(here: the simulator, standing in for the iWarp) under a small set of
+training mappings, profile every task and edge, and fit the polynomial cost
+and memory models.  The result is a *fitted* :class:`TaskChain` — same
+structure, estimated costs — which is what the mapping algorithms consume.
+The paper checked its model "by comparing the predicted and actual ...
+times for a set of mappings and the difference averaged less than 10%";
+:func:`validate_model` performs the same check.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..core.cost import ZeroBinary, ZeroUnary
+from ..core.exceptions import ModelFitError
+from ..core.mapping import Mapping
+from ..core.response import evaluate_mapping
+from ..core.task import Edge, Task, TaskChain
+from ..sim.noise import NoiseModel
+from ..sim.pipeline import simulate
+from .fitting import (
+    FitDiagnostics,
+    fit_ecom,
+    fit_exec,
+    fit_icom,
+    fit_memory,
+    fit_tabulated_binary,
+    fit_tabulated_unary,
+)
+from .profiler import ProfileData, profile_chain
+from .training import training_mappings
+
+__all__ = ["EstimationResult", "estimate_chain", "validate_model"]
+
+
+@dataclass
+class EstimationResult:
+    """A fitted chain plus fit diagnostics."""
+
+    fitted_chain: TaskChain
+    profile: ProfileData
+    exec_diagnostics: dict[int, FitDiagnostics] = field(default_factory=dict)
+    icom_diagnostics: dict[int, FitDiagnostics] = field(default_factory=dict)
+    ecom_diagnostics: dict[int, FitDiagnostics] = field(default_factory=dict)
+    training_runs: int = 0
+
+    def worst_relative_error(self) -> float:
+        errs = [
+            d.relative_error
+            for group in (
+                self.exec_diagnostics,
+                self.icom_diagnostics,
+                self.ecom_diagnostics,
+            )
+            for d in group.values()
+        ]
+        return max(errs) if errs else 0.0
+
+
+def estimate_chain(
+    chain: TaskChain,
+    total_procs: int,
+    mem_per_proc_mb: float = float("inf"),
+    n_datasets: int = 60,
+    noise: NoiseModel | None = None,
+    merged_runs: int = 3,
+    split_runs: int = 5,
+    model_family: str = "polynomial",
+) -> EstimationResult:
+    """Profile ``chain`` with 8 training executions and fit its models.
+
+    The returned chain preserves task names, replicability, and explicit
+    processor minimums; execution/communication costs and memory footprints
+    are replaced by their fitted estimates.
+
+    ``model_family`` selects the §5 representation: ``"polynomial"`` (the
+    paper's default analytic form, fitted by NNLS) or ``"tabulated"``
+    (pointwise with interpolation — §5's alternative — exact at the
+    training sizes but extrapolating by clamping).
+    """
+    if model_family not in ("polynomial", "tabulated"):
+        raise ValueError(f"unknown model family {model_family!r}")
+    mappings = training_mappings(
+        chain, total_procs, mem_per_proc_mb,
+        merged_runs=merged_runs, split_runs=split_runs,
+    )
+    profile = profile_chain(chain, mappings, n_datasets=n_datasets, noise=noise)
+
+    k = len(chain)
+    result = EstimationResult(
+        fitted_chain=chain,  # replaced below
+        profile=profile,
+        training_runs=len(mappings),
+    )
+
+    tasks = []
+    for i, task in enumerate(chain.tasks):
+        samples = profile.exec_samples.get(i, [])
+        if len(samples) < 2:
+            raise ModelFitError(
+                f"task {task.name!r} was observed at {len(samples)} partition "
+                f"sizes; need >= 2 (add training runs)"
+            )
+        if model_family == "tabulated":
+            model, diag = fit_tabulated_unary(samples)
+        else:
+            model, diag = fit_exec(samples)
+        result.exec_diagnostics[i] = diag
+        mem_samples = profile.memory_samples.get(i, [])
+        if len(mem_samples) >= 2:
+            mem_fixed, mem_parallel = fit_memory(mem_samples)
+        else:
+            mem_fixed, mem_parallel = task.mem_fixed_mb, task.mem_parallel_mb
+        tasks.append(
+            Task(
+                name=task.name,
+                exec_cost=model,
+                mem_fixed_mb=mem_fixed,
+                mem_parallel_mb=mem_parallel,
+                replicable=task.replicable,
+                min_procs=task.min_procs,
+            )
+        )
+
+    edges = []
+    for e in range(k - 1):
+        icom_s = profile.icom_samples.get(e, [])
+        if len(icom_s) >= 2:
+            if model_family == "tabulated":
+                icom, diag = fit_tabulated_unary(icom_s)
+            else:
+                icom, diag = fit_icom(icom_s)
+            result.icom_diagnostics[e] = diag
+        else:
+            icom = ZeroUnary()
+        ecom_s = profile.ecom_samples.get(e, [])
+        if len(ecom_s) >= 2:
+            if model_family == "tabulated":
+                ecom, diag = fit_tabulated_binary(ecom_s)
+            else:
+                ecom, diag = fit_ecom(ecom_s)
+            result.ecom_diagnostics[e] = diag
+        else:
+            ecom = ZeroBinary()
+        edges.append(Edge(icom=icom, ecom=ecom))
+
+    result.fitted_chain = TaskChain(tasks, edges, name=f"{chain.name}-fitted")
+    return result
+
+
+def validate_model(
+    true_chain: TaskChain,
+    fitted_chain: TaskChain,
+    mappings: list[Mapping],
+    n_datasets: int = 80,
+    noise: NoiseModel | None = None,
+) -> list[tuple[Mapping, float, float, float]]:
+    """Compare model-predicted and simulator-measured throughput over a set
+    of held-out mappings (the §6.3 accuracy check).
+
+    Returns ``(mapping, predicted, measured, relative_error)`` rows.
+    """
+    rows = []
+    for mapping in mappings:
+        predicted = evaluate_mapping(fitted_chain, mapping).throughput
+        measured = simulate(
+            true_chain, mapping, n_datasets=n_datasets, noise=noise
+        ).throughput
+        rel = (predicted - measured) / measured
+        rows.append((mapping, predicted, measured, rel))
+    return rows

@@ -1,0 +1,108 @@
+"""Profiling: run training mappings through the simulator and collect
+per-task execution, per-edge communication, and memory samples (§5).
+
+This plays the role of the Fx profiling infrastructure: each simulated run
+is "instrumented" (trace collection on), and the mean observed duration of
+every task slice / transfer becomes one sample at the partition sizes that
+run used.  Memory footprints are observed directly (they are deterministic
+in the model, as they are in a real compiler's accounting).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..core.mapping import Mapping
+from ..core.task import TaskChain
+from ..sim.noise import NoiseModel
+from ..sim.pipeline import SimulationResult, simulate
+
+__all__ = ["ProfileData", "profile_chain"]
+
+
+@dataclass
+class ProfileData:
+    """Samples gathered from a set of profiled runs.
+
+    ``exec_samples[i]`` — list of ``(p, seconds)`` for task ``i``;
+    ``icom_samples[e]`` / ``ecom_samples[e]`` — internal / external samples
+    for edge ``e``; ``memory_samples[i]`` — ``(p, MB per processor)``.
+    """
+
+    exec_samples: dict[int, list[tuple[int, float]]] = field(default_factory=dict)
+    icom_samples: dict[int, list[tuple[int, float]]] = field(default_factory=dict)
+    ecom_samples: dict[int, list[tuple[int, int, float]]] = field(default_factory=dict)
+    memory_samples: dict[int, list[tuple[int, float]]] = field(default_factory=dict)
+    runs: list[SimulationResult] = field(default_factory=list)
+
+    def merge(self, other: "ProfileData") -> None:
+        for i, s in other.exec_samples.items():
+            self.exec_samples.setdefault(i, []).extend(s)
+        for e, s in other.icom_samples.items():
+            self.icom_samples.setdefault(e, []).extend(s)
+        for e, s in other.ecom_samples.items():
+            self.ecom_samples.setdefault(e, []).extend(s)
+        for i, s in other.memory_samples.items():
+            self.memory_samples.setdefault(i, []).extend(s)
+        self.runs.extend(other.runs)
+
+
+def _profile_run(
+    chain: TaskChain, mapping: Mapping, n_datasets: int, noise: NoiseModel
+) -> ProfileData:
+    result = simulate(
+        chain, mapping, n_datasets=n_datasets, noise=noise, collect_trace=True
+    )
+    data = ProfileData(runs=[result])
+    trace = result.trace
+
+    for m in mapping.modules:
+        # Execution samples: mean over observed slices of each task.
+        for t_idx in range(m.start, m.stop + 1):
+            durations = trace.task_durations(chain.tasks[t_idx].name)
+            if durations:
+                data.exec_samples.setdefault(t_idx, []).append(
+                    (m.procs, float(np.mean(durations)))
+                )
+            # Memory: the observed per-processor footprint at this size.
+            task = chain.tasks[t_idx]
+            mb = task.mem_fixed_mb + task.mem_parallel_mb / m.procs
+            data.memory_samples.setdefault(t_idx, []).append((m.procs, mb))
+        # Internal redistributions swallowed by this module.
+        for e_idx in range(m.start, m.stop):
+            label = f"{chain.tasks[e_idx].name}->{chain.tasks[e_idx + 1].name}"
+            durations = [
+                ev.duration
+                for ev in trace.events
+                if ev.kind == "icom" and ev.label == label
+            ]
+            if durations:
+                data.icom_samples.setdefault(e_idx, []).append(
+                    (m.procs, float(np.mean(durations)))
+                )
+    # External transfers between adjacent modules.
+    for a, b in zip(mapping.modules, mapping.modules[1:]):
+        e_idx = a.stop
+        label = f"{chain.tasks[a.stop].name}->{chain.tasks[b.start].name}"
+        durations = trace.comm_durations(label, kind="recv")
+        if durations:
+            data.ecom_samples.setdefault(e_idx, []).append(
+                (a.procs, b.procs, float(np.mean(durations)))
+            )
+    return data
+
+
+def profile_chain(
+    chain: TaskChain,
+    mappings: list[Mapping],
+    n_datasets: int = 60,
+    noise: NoiseModel | None = None,
+) -> ProfileData:
+    """Profile ``chain`` under every training mapping and pool the samples."""
+    noise = noise or NoiseModel.silent()
+    pooled = ProfileData()
+    for mapping in mappings:
+        pooled.merge(_profile_run(chain, mapping, n_datasets, noise))
+    return pooled

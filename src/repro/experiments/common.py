@@ -1,0 +1,58 @@
+"""Shared configuration for the paper-reproduction experiments.
+
+Every experiment uses the same seeded noise models so results are
+reproducible run to run; the *profiling* noise differs from the
+*measurement* noise (training and evaluation runs are different
+executions, as they were on the real machine).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..machine import iwarp64_message, iwarp64_systolic
+from ..sim.noise import NoiseModel
+from ..workloads import Workload, fft_hist, radar, stereo
+
+__all__ = [
+    "profiling_noise",
+    "measurement_noise",
+    "fft_hist_configs",
+    "table2_roster",
+    "OUT_DIR_ENV",
+]
+
+#: Environment variable that redirects experiment text artifacts.
+OUT_DIR_ENV = "REPRO_OUT_DIR"
+
+#: Jitter/interference levels for the "real machine".
+_JITTER = 0.02
+_INTERFERENCE = 0.015
+
+
+def profiling_noise(seed: int = 101) -> NoiseModel:
+    """Noise during the §5 training runs."""
+    return NoiseModel(seed=seed, jitter=_JITTER, comm_interference=_INTERFERENCE)
+
+
+def measurement_noise(seed: int = 202) -> NoiseModel:
+    """Noise during evaluation ("measured") runs."""
+    return NoiseModel(seed=seed, jitter=_JITTER, comm_interference=_INTERFERENCE)
+
+
+def fft_hist_configs() -> list[Workload]:
+    """The four FFT-Hist configurations of Tables 1 and 2."""
+    return [
+        fft_hist(256, iwarp64_message()),
+        fft_hist(256, iwarp64_systolic()),
+        fft_hist(512, iwarp64_message()),
+        fft_hist(512, iwarp64_systolic()),
+    ]
+
+
+def table2_roster() -> list[Workload]:
+    """All six rows of Table 2: FFT-Hist x4, radar, stereo."""
+    return fft_hist_configs() + [
+        radar(iwarp64_systolic()),
+        stereo(iwarp64_systolic()),
+    ]

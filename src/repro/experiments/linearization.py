@@ -1,0 +1,113 @@
+"""Linearisation study — what the paper's chain restriction costs.
+
+The paper models every application as a linear chain, serialising stereo's
+three camera branches.  With the fork/join extension we can ask: for a
+stereo-shaped program, how much throughput does the linearised mapping
+leave on the table versus mapping the true fork?
+
+Both versions are built from identical task costs; the linear version
+executes the three rectification tasks in sequence (as the paper's chain
+model must), the fork/join version in parallel branches.  Both mappings are
+chosen by their respective greedy mappers and *measured* on their
+respective simulators, so the comparison is end to end.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..core.cluster_greedy import heuristic_mapping
+from ..core.cost import PolynomialEComm, PolynomialExec
+from ..core.task import Edge, Task, TaskChain
+from ..fjgraph import FJGraph, ParallelSection, greedy_fj_mapping, simulate_fj
+from ..sim.pipeline import simulate
+from ..tools.report import render_table
+
+__all__ = ["LinearisationResult", "run", "render"]
+
+
+@dataclass
+class LinearisationResult:
+    linear_predicted: float
+    linear_measured: float
+    fj_predicted: float
+    fj_measured: float
+    total_procs: int
+
+    @property
+    def fork_gain(self) -> float:
+        return self.fj_measured / self.linear_measured
+
+
+def _ecom(v=0.01):
+    return PolynomialEComm(0.002, v, v, 1e-4, 1e-4)
+
+
+def _tasks():
+    capture = lambda: Task("capture", PolynomialExec(0.004, 0.3))
+    rectify = lambda i: Task(f"rectify{i}", PolynomialExec(0.002, 2.4))
+    disparity = lambda: Task("disparity", PolynomialExec(0.004, 14.0))
+    depth = lambda: Task("depth", PolynomialExec(0.02, 1.2), replicable=False)
+    return capture, rectify, disparity, depth
+
+
+def run(total_procs: int = 32, n_datasets: int = 200) -> LinearisationResult:
+    capture, rectify, disparity, depth = _tasks()
+
+    # Linearised version: the paper's modelling of the same program.
+    chain = TaskChain(
+        [capture(), rectify(0), rectify(1), rectify(2), disparity(), depth()],
+        [
+            Edge(ecom=_ecom()),
+            Edge(ecom=_ecom()),
+            Edge(ecom=_ecom()),
+            Edge(ecom=_ecom()),
+            Edge(ecom=_ecom(0.05)),
+        ],
+        name="stereo-linear",
+    )
+    lin = heuristic_mapping(chain, total_procs)
+    lin_measured = simulate(chain, lin.mapping, n_datasets=n_datasets).throughput
+
+    # True fork/join version.
+    section = ParallelSection(
+        branches=[[rectify(i)] for i in range(3)],
+        fork_edges=[Edge(ecom=_ecom()) for _ in range(3)],
+        join_edges=[Edge(ecom=_ecom()) for _ in range(3)],
+    )
+    graph = FJGraph(
+        [capture(), section, disparity(), Edge(ecom=_ecom(0.05)), depth()],
+        name="stereo-fj",
+    )
+    fj_mapping, fj_predicted = greedy_fj_mapping(
+        graph, total_procs, refine_with_sim=True
+    )
+    fj_measured = simulate_fj(graph, fj_mapping, n_datasets=n_datasets).throughput
+
+    return LinearisationResult(
+        linear_predicted=lin.throughput,
+        linear_measured=lin_measured,
+        fj_predicted=fj_predicted,
+        fj_measured=fj_measured,
+        total_procs=total_procs,
+    )
+
+
+def render(res: LinearisationResult) -> str:
+    rows = [
+        ["linear chain (paper's model)", res.linear_predicted, res.linear_measured],
+        ["true fork/join (extension)", res.fj_predicted, res.fj_measured],
+    ]
+    out = render_table(
+        ["program model", "predicted tp", "measured tp"],
+        rows,
+        title=f"Linearising the stereo fork on {res.total_procs} processors",
+    )
+    return out + (
+        f"\nfork/join : linear measured ratio: {res.fork_gain:.2f}x\n"
+        "Replication already extracts the branch parallelism from the\n"
+        "linear chain, and the explicit fork pays one serialised transfer\n"
+        "per branch — so for *throughput* the paper's linearisation is not\n"
+        "just sound, it can win.  (Latency is another matter: the fork\n"
+        "overlaps the branches within one data set.)"
+    )

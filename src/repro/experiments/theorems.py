@@ -1,0 +1,142 @@
+"""Empirical validation of the paper's Theorems 1 and 2 (§4.1).
+
+**Theorem 1**: the slowest-only greedy (add each processor to the
+bottleneck task, never its neighbours) is optimal when communication time
+increases monotonically with the processor counts involved — the
+overhead-dominated regime.  We generate chains with purely
+overhead-growing communication and check slowest-only greedy against the
+DP optimum.
+
+**Theorem 2**: under convex cost functions with computation dominating
+communication (``delta > 4 * delta_c``), plain greedy overallocates at
+most two processors per task relative to the optimum.  We generate chains
+satisfying the hypotheses, compare greedy's allocation vector against the
+DP's, and record the largest per-task overallocation observed — which must
+stay within the theorem's bound of 2.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..core.cost import PolynomialEComm, PolynomialExec
+from ..core.dp import optimal_assignment
+from ..core.greedy import greedy_assignment
+from ..core.mapping import singleton_clustering
+from ..core.response import build_module_chain
+from ..core.task import Edge, Task, TaskChain
+from ..tools.report import render_table
+
+__all__ = ["TheoremReport", "run_theorem1", "run_theorem2", "render"]
+
+
+@dataclass
+class TheoremReport:
+    theorem: str
+    cases: int
+    optimal_hits: int            # slowest-only greedy == DP (thm 1)
+    max_overallocation: int      # per-task, greedy vs DP totals (thm 2)
+    worst_gap: float             # throughput gap of the heuristic
+
+
+def _monotone_comm_chain(k: int, seed: int) -> TaskChain:
+    """Communication grows monotonically in both widths (Theorem 1 regime)."""
+    rng = np.random.default_rng(seed)
+    tasks = [
+        Task(
+            f"t{i}",
+            PolynomialExec(0.0, float(rng.uniform(5, 40)), 0.0),
+            replicable=False,
+        )
+        for i in range(k)
+    ]
+    edges = [
+        Edge(
+            ecom=PolynomialEComm(
+                float(rng.uniform(0.01, 0.1)), 0.0, 0.0,
+                float(rng.uniform(0.002, 0.01)),
+                float(rng.uniform(0.002, 0.01)),
+            )
+        )
+        for _ in range(k - 1)
+    ]
+    return TaskChain(tasks, edges, name=f"thm1-{seed}")
+
+
+def _convex_dominated_chain(k: int, seed: int) -> TaskChain:
+    """Convex costs with computation >> communication (Theorem 2 regime)."""
+    rng = np.random.default_rng(seed)
+    tasks = [
+        Task(
+            f"t{i}",
+            PolynomialExec(0.0, float(rng.uniform(20, 60)), 0.0),
+            replicable=False,
+        )
+        for i in range(k)
+    ]
+    edges = [
+        Edge(
+            ecom=PolynomialEComm(
+                float(rng.uniform(0.001, 0.01)),
+                float(rng.uniform(0.05, 0.3)),
+                float(rng.uniform(0.05, 0.3)),
+                0.0, 0.0,
+            )
+        )
+        for _ in range(k - 1)
+    ]
+    return TaskChain(tasks, edges, name=f"thm2-{seed}")
+
+
+def run_theorem1(cases: int = 25, k: int = 3, P: int = 14) -> TheoremReport:
+    hits = 0
+    worst = 0.0
+    for seed in range(cases):
+        chain = _monotone_comm_chain(k, seed)
+        mc = build_module_chain(chain, singleton_clustering(k))
+        dp = optimal_assignment(mc, P, replication=False)
+        greedy = greedy_assignment(
+            mc, P, replication=False, slowest_only=True
+        )
+        gap = max(0.0, 1.0 - greedy.throughput / dp.throughput)
+        worst = max(worst, gap)
+        if gap <= 1e-9:
+            hits += 1
+    return TheoremReport("Theorem 1 (slowest-only, monotone comm)",
+                         cases, hits, 0, worst)
+
+
+def run_theorem2(cases: int = 25, k: int = 3, P: int = 16) -> TheoremReport:
+    max_over = 0
+    hits = 0
+    worst = 0.0
+    for seed in range(cases):
+        chain = _convex_dominated_chain(k, seed)
+        mc = build_module_chain(chain, singleton_clustering(k))
+        dp = optimal_assignment(mc, P, replication=False)
+        greedy = greedy_assignment(
+            mc, P, replication=False, backtracking=False
+        )
+        over = max(
+            g - d for g, d in zip(greedy.totals, dp.totals)
+        )
+        max_over = max(max_over, over)
+        gap = max(0.0, 1.0 - greedy.throughput / dp.throughput)
+        worst = max(worst, gap)
+        if gap <= 1e-9:
+            hits += 1
+    return TheoremReport("Theorem 2 (overallocation bound)",
+                         cases, hits, max_over, worst)
+
+
+def render(reports: list[TheoremReport]) -> str:
+    headers = ["theorem", "cases", "heuristic optimal",
+               "max per-task overallocation", "worst throughput gap %"]
+    rows = [
+        [r.theorem, r.cases, f"{r.optimal_hits}/{r.cases}",
+         r.max_overallocation, 100 * r.worst_gap]
+        for r in reports
+    ]
+    return render_table(headers, rows, title="Theorem 1 & 2 validation (§4.1)")

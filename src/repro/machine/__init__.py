@@ -1,0 +1,48 @@
+"""Machine models: grids, memory, communication systems, and the
+geometric feasibility constraints of §6.1."""
+
+from .machine import CommParams, MachineSpec
+from .topology import Rect, is_rectangularizable, rect_shapes, rectangular_sizes
+from .packing import PackingResult, pack_rectangles
+from .systolic import link_loads, max_link_load, pathway_pairs, route_xy
+from .feasibility import (
+    FeasibilityReport,
+    FeasibleResult,
+    check_feasible,
+    optimal_feasible_mapping,
+)
+from .presets import (
+    PRESETS,
+    by_name,
+    iwarp64_message,
+    iwarp64_systolic,
+    paragon128,
+    pvm_cluster8,
+    sp2_16,
+)
+
+__all__ = [
+    "CommParams",
+    "MachineSpec",
+    "Rect",
+    "rect_shapes",
+    "is_rectangularizable",
+    "rectangular_sizes",
+    "PackingResult",
+    "pack_rectangles",
+    "pathway_pairs",
+    "route_xy",
+    "link_loads",
+    "max_link_load",
+    "FeasibilityReport",
+    "FeasibleResult",
+    "check_feasible",
+    "optimal_feasible_mapping",
+    "PRESETS",
+    "by_name",
+    "iwarp64_message",
+    "iwarp64_systolic",
+    "paragon128",
+    "sp2_16",
+    "pvm_cluster8",
+]

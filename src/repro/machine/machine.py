@@ -1,0 +1,100 @@
+"""Machine descriptions.
+
+A :class:`MachineSpec` carries everything the mapper and the workload
+generators need to know about the target: the processor grid, per-processor
+memory, and the communication technology parameters from which workloads
+build their §5 cost models.  The paper's testbed was a 64-processor Intel
+iWarp (8×8 torus) driven by the Fx compiler, with two communication systems
+— *message passing* and *systolic* (logical pathways over physical links).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+__all__ = ["CommParams", "MachineSpec"]
+
+
+@dataclass(frozen=True)
+class CommParams:
+    """Parameters of one communication technology.
+
+    The workload generators translate these into the paper's polynomial
+    communication models: per-transfer software startup (``alpha_s``),
+    per-megabyte wire time (``beta_s_per_mb``), and a per-endpoint-processor
+    software overhead (``proc_overhead_s``) that produces the terms growing
+    with partition widths (the dominant effect on real systems, §4 Thm 1
+    discussion).  ``redist_fraction`` scales an on-place redistribution
+    relative to an equivalent external transfer.
+    """
+
+    alpha_s: float            # software startup per transfer (seconds)
+    beta_s_per_mb: float      # transfer time per MB (seconds)
+    proc_overhead_s: float    # added per endpoint processor per transfer
+    redist_fraction: float    # icom cost relative to ecom for same volume
+
+    def __post_init__(self):
+        if min(self.alpha_s, self.beta_s_per_mb, self.proc_overhead_s) < 0:
+            raise ValueError("communication parameters must be non-negative")
+        if not 0 <= self.redist_fraction <= 2:
+            raise ValueError("redist_fraction out of range")
+
+
+@dataclass(frozen=True)
+class MachineSpec:
+    """A parallel machine: processor grid + memory + communication system.
+
+    Parameters
+    ----------
+    name:
+        Identifier, e.g. ``"iwarp64/message"``.
+    rows, cols:
+        Processor grid dimensions; ``total_procs = rows * cols``.
+    mem_per_proc_mb:
+        Usable memory per processor (drives the §5 memory model / minimum
+        processor counts).
+    comm:
+        Communication technology parameters.
+    comm_kind:
+        ``"message"`` or ``"systolic"`` — selects workload cost constants
+        and whether pathway limits apply.
+    require_rectangular:
+        Whether every module instance must occupy a rectangular subarray
+        (the Fx compiler constraint, §6.1).
+    pathway_cap:
+        For systolic machines: the maximum number of logical pathways that
+        may traverse one physical link (§6.1); ``0`` means unconstrained.
+    """
+
+    name: str
+    rows: int
+    cols: int
+    mem_per_proc_mb: float
+    comm: CommParams
+    comm_kind: str = "message"
+    require_rectangular: bool = True
+    pathway_cap: int = 0
+
+    def __post_init__(self):
+        if self.rows < 1 or self.cols < 1:
+            raise ValueError("grid dimensions must be positive")
+        if self.mem_per_proc_mb <= 0:
+            raise ValueError("per-processor memory must be positive")
+        if self.comm_kind not in ("message", "systolic"):
+            raise ValueError(f"unknown comm_kind {self.comm_kind!r}")
+        if self.pathway_cap < 0:
+            raise ValueError("pathway_cap must be >= 0")
+
+    @property
+    def total_procs(self) -> int:
+        return self.rows * self.cols
+
+    @property
+    def is_systolic(self) -> bool:
+        return self.comm_kind == "systolic"
+
+    def __str__(self):
+        return (
+            f"{self.name}: {self.rows}x{self.cols} procs, "
+            f"{self.mem_per_proc_mb} MB/proc, {self.comm_kind}"
+        )

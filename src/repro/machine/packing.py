@@ -1,0 +1,117 @@
+"""Exact rectangle packing of module instances onto the processor grid.
+
+Even when every instance size is individually rectangularizable, "it may
+not be possible to map all the modules due to geometrical constraints"
+(§6.1).  This module decides packability exactly with a bitmask backtracking
+search: grids up to 8×8 fit in a single Python integer, the next free cell
+is always filled first (a canonical-form cut that prunes symmetric
+placements), and failed (occupancy, remaining-multiset) states are memoised.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from .topology import Rect, rect_shapes
+
+__all__ = ["pack_rectangles", "PackingResult"]
+
+
+class PackingResult:
+    """Outcome of a packing attempt."""
+
+    def __init__(self, rects: list[Rect] | None, explored: int):
+        self.rects = rects
+        self.explored = explored
+
+    @property
+    def feasible(self) -> bool:
+        return self.rects is not None
+
+    def __bool__(self) -> bool:
+        return self.feasible
+
+
+def _shape_mask(rows: int, cols: int, r: int, c: int, h: int, w: int) -> int:
+    """Bitmask of the cells covered by an h×w rectangle at (r, c)."""
+    row_bits = ((1 << w) - 1) << c
+    mask = 0
+    for i in range(h):
+        mask |= row_bits << ((r + i) * cols)
+    return mask
+
+
+def pack_rectangles(
+    areas: Sequence[int], rows: int, cols: int, max_nodes: int = 200_000
+) -> PackingResult:
+    """Try to tile the grid with one rectangle per requested area.
+
+    Returns a :class:`PackingResult`; ``rects[i]`` is the placement of
+    ``areas[i]`` on success.  The search is exact up to ``max_nodes``
+    backtracking nodes (far beyond what an 8×8 grid ever needs); if the
+    budget is exhausted the packing is reported infeasible.
+    """
+    total = sum(areas)
+    if total > rows * cols:
+        return PackingResult(None, 0)
+    if any(a < 1 for a in areas):
+        raise ValueError("rectangle areas must be positive")
+    for a in areas:
+        if not rect_shapes(a, rows, cols):
+            return PackingResult(None, 0)
+
+    n = len(areas)
+    order = sorted(range(n), key=lambda i: -areas[i])  # big rectangles first
+    full = (1 << (rows * cols)) - 1
+    failed: set[tuple[int, tuple[int, ...]]] = set()
+    explored = 0
+    placements: dict[int, Rect] = {}
+
+    def first_free(mask: int) -> int:
+        inv = ~mask & full
+        return (inv & -inv).bit_length() - 1 if inv else -1
+
+    def rec(mask: int, remaining: tuple[int, ...], waste_left: int) -> bool:
+        nonlocal explored
+        if not remaining:
+            return True
+        explored += 1
+        if explored > max_nodes:
+            return False
+        key = (mask, tuple(sorted(areas[i] for i in remaining)))
+        if key in failed:
+            return False
+        cell = first_free(mask)
+        r0, c0 = divmod(cell, cols)
+        tried_areas = set()
+        for idx_pos, i in enumerate(remaining):
+            a = areas[i]
+            if a in tried_areas:
+                continue  # identical area: same placements, skip duplicates
+            tried_areas.add(a)
+            for h, w in rect_shapes(a, rows, cols):
+                # Some rectangle (or a wasted cell, below) must cover the
+                # first free cell; anchoring the top edge at r0 is canonical
+                # (cells above r0 in this column are full), but the left
+                # edge may start left of c0.
+                for c in range(max(0, c0 - w + 1), min(c0, cols - w) + 1):
+                    if r0 + h > rows:
+                        continue
+                    m = _shape_mask(rows, cols, r0, c, h, w)
+                    if m & mask:
+                        continue
+                    placements[i] = Rect(r0, c, h, w)
+                    rest = remaining[:idx_pos] + remaining[idx_pos + 1 :]
+                    if rec(mask | m, rest, waste_left):
+                        return True
+                    del placements[i]
+        # Idle processors are allowed: leave this cell permanently unused.
+        if waste_left > 0 and rec(mask | (1 << cell), remaining, waste_left - 1):
+            return True
+        failed.add(key)
+        return False
+
+    ok = rec(0, tuple(order), rows * cols - total)
+    if not ok:
+        return PackingResult(None, explored)
+    return PackingResult([placements[i] for i in range(n)], explored)

@@ -1,0 +1,144 @@
+"""Machine presets.
+
+``iwarp64_message`` / ``iwarp64_systolic`` model the paper's testbed: a
+64-cell (8×8) Intel iWarp with ~0.5 MB of usable memory per cell and two
+communication systems.  The remaining presets model the other Fx targets
+the paper lists (Intel Paragon, IBM SP2, workstation networks under PVM)
+with representative mid-1990s parameters; their purpose is variety in the
+test matrix, not historical precision.
+"""
+
+from __future__ import annotations
+
+from .machine import CommParams, MachineSpec
+
+__all__ = [
+    "iwarp64_message",
+    "iwarp64_systolic",
+    "paragon128",
+    "sp2_16",
+    "pvm_cluster8",
+    "by_name",
+    "PRESETS",
+]
+
+
+def iwarp64_message() -> MachineSpec:
+    """8×8 iWarp, message-passing communication.
+
+    Message passing pays a substantial per-transfer software startup and a
+    per-endpoint-processor overhead (the regime where Theorem 1's
+    monotone-communication assumption tends to hold).
+    """
+    return MachineSpec(
+        name="iwarp64/message",
+        rows=8,
+        cols=8,
+        mem_per_proc_mb=0.5,
+        comm=CommParams(
+            alpha_s=4.0e-4,
+            beta_s_per_mb=1.0e-1,   # ~10 MB/s effective redistribution rate
+            proc_overhead_s=3.0e-5,
+            redist_fraction=1.0,
+        ),
+        comm_kind="message",
+        require_rectangular=True,
+    )
+
+
+def iwarp64_systolic() -> MachineSpec:
+    """8×8 iWarp, systolic (logical-pathway) communication.
+
+    Lower startup and higher effective bandwidth than message passing, but
+    each pathway must be reserved and only a few logical pathways share one
+    physical link (§6.1), constraining feasible mappings.
+    """
+    return MachineSpec(
+        name="iwarp64/systolic",
+        rows=8,
+        cols=8,
+        mem_per_proc_mb=0.5,
+        comm=CommParams(
+            alpha_s=1.0e-4,
+            beta_s_per_mb=9.0e-2,   # slightly better streaming than message passing
+            proc_overhead_s=6.0e-5,  # pathway setup grows with endpoints
+            redist_fraction=1.0,
+        ),
+        comm_kind="systolic",
+        require_rectangular=True,
+        pathway_cap=20,
+    )
+
+
+def paragon128() -> MachineSpec:
+    """A 8×16 Intel Paragon-like mesh with 16 MB per node."""
+    return MachineSpec(
+        name="paragon128",
+        rows=8,
+        cols=16,
+        mem_per_proc_mb=16.0,
+        comm=CommParams(
+            alpha_s=1.2e-4,
+            beta_s_per_mb=1.0e-2,
+            proc_overhead_s=2.0e-5,
+            redist_fraction=0.9,
+        ),
+        comm_kind="message",
+        require_rectangular=True,
+    )
+
+
+def sp2_16() -> MachineSpec:
+    """A 16-node IBM SP2-like machine (multistage switch: no rectangular
+    placement constraint)."""
+    return MachineSpec(
+        name="sp2-16",
+        rows=1,
+        cols=16,
+        mem_per_proc_mb=64.0,
+        comm=CommParams(
+            alpha_s=6.0e-5,
+            beta_s_per_mb=2.9e-2,
+            proc_overhead_s=1.0e-5,
+            redist_fraction=0.8,
+        ),
+        comm_kind="message",
+        require_rectangular=False,
+    )
+
+
+def pvm_cluster8() -> MachineSpec:
+    """Eight workstations on 10 Mb/s Ethernet under PVM."""
+    return MachineSpec(
+        name="pvm-cluster8",
+        rows=1,
+        cols=8,
+        mem_per_proc_mb=32.0,
+        comm=CommParams(
+            alpha_s=1.5e-3,
+            beta_s_per_mb=9.0e-1,
+            proc_overhead_s=2.0e-4,
+            redist_fraction=1.0,
+        ),
+        comm_kind="message",
+        require_rectangular=False,
+    )
+
+
+PRESETS = {
+    "iwarp64-message": iwarp64_message,
+    "iwarp64-systolic": iwarp64_systolic,
+    "paragon128": paragon128,
+    "sp2-16": sp2_16,
+    "pvm-cluster8": pvm_cluster8,
+}
+
+
+def by_name(name: str) -> MachineSpec:
+    """Look a preset up by its CLI name."""
+    try:
+        return PRESETS[name]()
+    except KeyError:
+        raise KeyError(
+            f"unknown machine {name!r}; available: {sorted(PRESETS)}"
+        ) from None

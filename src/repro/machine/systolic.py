@@ -1,0 +1,80 @@
+"""Systolic-pathway constraints (paper §6.1).
+
+In iWarp's systolic mode, communicating modules are connected by *logical
+pathways*; only a limited number of pathways can traverse one physical
+link, which made some otherwise-valid mappings infeasible in the paper's
+experiments.
+
+With round-robin replication, data set ``s`` is handled by instance
+``s mod r_i`` of module ``i``; the distinct communicating instance pairs
+between adjacent modules ``i`` and ``i+1`` number ``lcm(r_i, r_{i+1})``.
+Each pair needs a pathway, routed here with dimension-ordered (X-then-Y)
+routing between the instance rectangles' centers — the standard static
+routing for 2-D meshes/tori.
+"""
+
+from __future__ import annotations
+
+import math
+from collections import Counter
+
+from .topology import Rect
+
+__all__ = ["pathway_pairs", "route_xy", "link_loads", "max_link_load"]
+
+Link = tuple[tuple[int, int], tuple[int, int]]
+
+
+def pathway_pairs(r_send: int, r_recv: int) -> list[tuple[int, int]]:
+    """Distinct (sender instance, receiver instance) pairs under round-robin
+    distribution of the data-set stream."""
+    n = math.lcm(r_send, r_recv)
+    return sorted({(s % r_send, s % r_recv) for s in range(n)})
+
+
+def _anchor(rect: Rect) -> tuple[int, int]:
+    """Integer cell nearest the rectangle center."""
+    cr, cc = rect.center()
+    return (int(round(cr)), int(round(cc)))
+
+
+def route_xy(src: tuple[int, int], dst: tuple[int, int]) -> list[Link]:
+    """Dimension-ordered route: move along the row (X) first, then the
+    column (Y).  Returns the physical links traversed."""
+    links: list[Link] = []
+    r, c = src
+    step = 1 if dst[1] > c else -1
+    while c != dst[1]:
+        nxt = (r, c + step)
+        links.append(((r, c), nxt) if step > 0 else (nxt, (r, c)))
+        c += step
+    step = 1 if dst[0] > r else -1
+    while r != dst[0]:
+        nxt = (r + step, c)
+        links.append(((r, c), nxt) if step > 0 else (nxt, (r, c)))
+        r += step
+    return links
+
+
+def link_loads(
+    module_rects: list[list[Rect]],
+) -> Counter:
+    """Pathway count per physical link for a placed module chain.
+
+    ``module_rects[i]`` holds the rectangles of module ``i``'s instances in
+    replica order.
+    """
+    loads: Counter = Counter()
+    for send_rects, recv_rects in zip(module_rects, module_rects[1:]):
+        for a, b in pathway_pairs(len(send_rects), len(recv_rects)):
+            src = _anchor(send_rects[a])
+            dst = _anchor(recv_rects[b])
+            for link in route_xy(src, dst):
+                loads[link] += 1
+    return loads
+
+
+def max_link_load(module_rects: list[list[Rect]]) -> int:
+    """The busiest physical link's pathway count (0 for a single module)."""
+    loads = link_loads(module_rects)
+    return max(loads.values()) if loads else 0

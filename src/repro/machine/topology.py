@@ -1,0 +1,69 @@
+"""Processor-grid topology: rectangular subarrays (paper §6.1).
+
+The Fx compiler maps each module instance to a rectangular subarray of the
+processor grid, so an allocation of ``p`` processors is realisable only if
+``p`` factors as ``h × w`` with ``h <= rows`` and ``w <= cols``.  This is
+why the paper's Table 1 adjusts a 13-processor module to 12 on the 8×8
+iWarp: 13 is prime and ``1×13`` does not fit.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from functools import lru_cache
+
+__all__ = ["Rect", "rect_shapes", "is_rectangularizable", "rectangular_sizes"]
+
+
+@dataclass(frozen=True)
+class Rect:
+    """A placed rectangle: top-left cell (row, col), height, width."""
+
+    row: int
+    col: int
+    height: int
+    width: int
+
+    @property
+    def area(self) -> int:
+        return self.height * self.width
+
+    def cells(self):
+        for r in range(self.row, self.row + self.height):
+            for c in range(self.col, self.col + self.width):
+                yield (r, c)
+
+    def overlaps(self, other: "Rect") -> bool:
+        return not (
+            self.row + self.height <= other.row
+            or other.row + other.height <= self.row
+            or self.col + self.width <= other.col
+            or other.col + other.width <= self.col
+        )
+
+    def center(self) -> tuple[float, float]:
+        return (self.row + (self.height - 1) / 2.0, self.col + (self.width - 1) / 2.0)
+
+
+@lru_cache(maxsize=4096)
+def rect_shapes(area: int, rows: int, cols: int) -> tuple[tuple[int, int], ...]:
+    """All ``(height, width)`` factorisations of ``area`` fitting the grid."""
+    if area < 1:
+        return ()
+    shapes = []
+    for h in range(1, min(area, rows) + 1):
+        if area % h == 0:
+            w = area // h
+            if w <= cols:
+                shapes.append((h, w))
+    return tuple(shapes)
+
+
+def is_rectangularizable(area: int, rows: int, cols: int) -> bool:
+    """Can ``area`` processors form a rectangle on a ``rows × cols`` grid?"""
+    return bool(rect_shapes(area, rows, cols))
+
+
+def rectangular_sizes(rows: int, cols: int) -> list[int]:
+    """All realisable subarray sizes on the grid, ascending."""
+    return [a for a in range(1, rows * cols + 1) if is_rectangularizable(a, rows, cols)]

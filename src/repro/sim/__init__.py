@@ -1,0 +1,20 @@
+"""Discrete-event pipeline simulator — the "measured" substrate standing in
+for the paper's iWarp testbed."""
+
+from .engine import Simulator
+from .noise import NoiseModel
+from .pipeline import SimulationResult, simulate
+from .svg import trace_to_svg, write_trace_svg
+from .trace import TraceEvent, TraceLog, render_gantt
+
+__all__ = [
+    "Simulator",
+    "NoiseModel",
+    "SimulationResult",
+    "simulate",
+    "TraceEvent",
+    "TraceLog",
+    "render_gantt",
+    "trace_to_svg",
+    "write_trace_svg",
+]

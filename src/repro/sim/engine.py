@@ -1,0 +1,63 @@
+"""Discrete-event simulation kernel.
+
+A minimal, deterministic event-driven core: a clock, a priority queue of
+(time, sequence, callback) events, and a run loop.  Determinism matters —
+two runs with the same seed must produce identical traces — so ties are
+broken by insertion order, never by callback identity.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Callable
+
+from ..core.exceptions import SimulationError
+
+__all__ = ["Simulator"]
+
+
+class Simulator:
+    """An event queue with a clock."""
+
+    def __init__(self):
+        self._queue: list[tuple[float, int, Callable[[], None]]] = []
+        self._seq = 0
+        self.now = 0.0
+        self.events_processed = 0
+
+    def schedule(self, delay: float, callback: Callable[[], None]) -> None:
+        """Schedule ``callback`` to run ``delay`` seconds from now."""
+        if delay < 0:
+            raise SimulationError(f"cannot schedule {delay} seconds into the past")
+        heapq.heappush(self._queue, (self.now + delay, self._seq, callback))
+        self._seq += 1
+
+    def schedule_at(self, time: float, callback: Callable[[], None]) -> None:
+        """Schedule ``callback`` at an absolute time (>= now)."""
+        self.schedule(time - self.now, callback)
+
+    def run(self, until: float | None = None, max_events: int | None = None) -> float:
+        """Process events in time order.
+
+        Stops when the queue empties, the clock passes ``until``, or
+        ``max_events`` have run.  Returns the final clock value.
+        """
+        processed = 0
+        while self._queue:
+            if until is not None and self._queue[0][0] > until:
+                self.now = until
+                break
+            if max_events is not None and processed >= max_events:
+                break
+            time, _, callback = heapq.heappop(self._queue)
+            if time < self.now - 1e-12:
+                raise SimulationError("event queue corrupted: time went backwards")
+            self.now = max(self.now, time)
+            callback()
+            processed += 1
+            self.events_processed += 1
+        return self.now
+
+    @property
+    def pending(self) -> int:
+        return len(self._queue)

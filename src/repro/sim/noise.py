@@ -1,0 +1,61 @@
+"""Second-order effects the mapping model deliberately ignores (§2.1, §6.4).
+
+The paper attributes its predicted-vs-measured gaps (up to ~12 %) to
+modelling error and to "interference between communication inside tasks and
+communication between tasks, which are not considered".  The simulator
+reproduces both effect classes:
+
+* per-operation multiplicative jitter (cache/OS variation) — seeded and
+  deterministic, so experiments are reproducible;
+* communication interference — a transfer that starts while other transfers
+  are in flight is slowed in proportion to the contention.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["NoiseModel"]
+
+
+class NoiseModel:
+    """Deterministic noise source for the simulator.
+
+    Parameters
+    ----------
+    seed:
+        RNG seed; identical seeds give identical simulations.
+    jitter:
+        Standard deviation of the multiplicative per-operation factor
+        (drawn once per operation, truncated to [1-3σ, 1+3σ] and floored
+        at 0.05 so durations stay positive).
+    comm_interference:
+        Fractional slowdown added to a transfer per other transfer already
+        in flight when it starts.
+    """
+
+    def __init__(self, seed: int = 0, jitter: float = 0.02, comm_interference: float = 0.02):
+        if jitter < 0 or comm_interference < 0:
+            raise ValueError("noise parameters must be non-negative")
+        self._rng = np.random.default_rng(seed)
+        self.jitter = jitter
+        self.comm_interference = comm_interference
+        self.seed = seed
+
+    def factor(self) -> float:
+        """One multiplicative jitter sample."""
+        if self.jitter == 0:
+            return 1.0
+        f = 1.0 + self.jitter * float(self._rng.standard_normal())
+        lo, hi = 1.0 - 3 * self.jitter, 1.0 + 3 * self.jitter
+        return max(0.05, min(hi, max(lo, f)))
+
+    def comm_factor(self, concurrent_transfers: int) -> float:
+        """Jitter plus contention for a transfer starting while
+        ``concurrent_transfers`` others are active."""
+        return self.factor() * (1.0 + self.comm_interference * max(0, concurrent_transfers))
+
+    @staticmethod
+    def silent() -> "NoiseModel":
+        """A noise model that changes nothing (for exactness tests)."""
+        return NoiseModel(seed=0, jitter=0.0, comm_interference=0.0)

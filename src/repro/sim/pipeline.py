@@ -1,0 +1,341 @@
+"""Discrete-event simulation of a mapped task pipeline (paper §2.1 model).
+
+The simulator executes a :class:`~repro.core.Mapping` of a task chain on
+virtual processors and *measures* throughput and latency, playing the role
+of the paper's iWarp runs.  Its semantics follow the paper's execution
+model exactly:
+
+* a module instance processes one data set at a time: receive → execute
+  (its tasks and internal redistributions, in order) → send;
+* an external transfer is a *rendezvous* — sender and receiver instances
+  are both busy for the entire communication step;
+* replicated instances serve the data-set stream round-robin
+  (instance ``d mod r``);
+* per-operation jitter and transfer interference (the "second-order
+  effects" of §6.4) come from a seeded :class:`NoiseModel`.
+
+Durations are drawn from the chain's cost models at the mapping's
+per-instance processor counts, so with noise disabled the measured
+steady-state throughput converges exactly to the analytic
+``1 / max_i(f_i / r_i)`` — a property the test suite checks.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..core.exceptions import SimulationError
+from ..core.mapping import Mapping
+from ..core.task import TaskChain
+from .engine import Simulator
+from .noise import NoiseModel
+from .trace import TraceEvent, TraceLog
+
+__all__ = ["SimulationResult", "simulate"]
+
+
+@dataclass
+class SimulationResult:
+    """Measured behaviour of one simulated run."""
+
+    n_datasets: int
+    makespan: float                    # time of the last completion
+    throughput: float                  # steady-state data sets / second
+    mean_latency: float                # mean end-to-end time per data set
+    completions: np.ndarray            # completion time per data set
+    injections: np.ndarray             # first-module start time per data set
+    warmup: int                        # data sets excluded from the steady window
+    events_processed: int
+    busy_fractions: dict = None        # (module, instance) -> busy time / makespan
+    trace: TraceLog | None = None
+
+    def module_utilization(self, module: int) -> float:
+        """Mean busy fraction across a module's instances."""
+        vals = [f for (m, _), f in self.busy_fractions.items() if m == module]
+        return sum(vals) / len(vals) if vals else 0.0
+
+    @property
+    def measured_bottleneck(self) -> int:
+        """The busiest module — in steady state, the throughput bottleneck."""
+        modules = sorted({m for m, _ in self.busy_fractions})
+        return max(modules, key=self.module_utilization)
+
+    def __repr__(self):
+        return (
+            f"SimulationResult(throughput={self.throughput:.4g}/s, "
+            f"latency={self.mean_latency:.4g}s, n={self.n_datasets})"
+        )
+
+
+class _Rendezvous:
+    """Synchronises sender and receiver of one (edge, dataset) transfer."""
+
+    __slots__ = ("parties",)
+
+    def __init__(self):
+        self.parties: list = []
+
+
+class _Worker:
+    """One module instance: a sequential process over its data sets."""
+
+    def __init__(self, run: "_Run", module: int, instance: int):
+        self.run = run
+        self.module = module
+        self.instance = instance
+        spec = run.mapping[module]
+        self.datasets = list(range(instance, run.n, spec.replicas))
+        self.cursor = 0
+
+    def start(self):
+        self._next_dataset()
+
+    # -- per-dataset flow -------------------------------------------------
+    def _next_dataset(self):
+        if self.cursor >= len(self.datasets):
+            return
+        d = self.datasets[self.cursor]
+        self.cursor += 1
+        if self.module == 0:
+            self.run.injections[d] = self.run.sim.now
+            self._execute(d)
+        else:
+            self.run.rendezvous_arrive(
+                edge=self.module - 1,
+                dataset=d,
+                worker=self,
+                on_done=lambda d=d: self._execute(d),
+            )
+
+    def _execute(self, d: int):
+        run = self.run
+        spec = run.mapping[self.module]
+        phases = run.phases[self.module]  # [(kind, label, base_duration)]
+        sim = run.sim
+
+        def do_phase(idx: int):
+            if idx == len(phases):
+                self._after_execute(d)
+                return
+            kind, label, base = phases[idx]
+            dur = base * run.noise.factor()
+            key = (self.module, self.instance)
+            run.busy_time[key] = run.busy_time.get(key, 0.0) + dur
+            t0 = sim.now
+            if run.trace is not None:
+                run.trace.record(
+                    TraceEvent(self.module, self.instance, kind, label, d, t0, t0 + dur)
+                )
+            sim.schedule(dur, lambda: do_phase(idx + 1))
+
+        do_phase(0)
+
+    def _after_execute(self, d: int):
+        run = self.run
+        if self.module == len(run.mapping) - 1:
+            run.completions[d] = run.sim.now
+            self._next_dataset()
+        else:
+            run.rendezvous_arrive(
+                edge=self.module,
+                dataset=d,
+                worker=self,
+                on_done=self._next_dataset,
+            )
+
+
+class _Run:
+    """All shared state of one simulation."""
+
+    def __init__(self, chain: TaskChain, mapping: Mapping, n: int,
+                 noise: NoiseModel, trace: TraceLog | None,
+                 placements=None, hop_penalty: float = 0.0):
+        self.chain = chain
+        self.mapping = mapping
+        self.n = n
+        self.noise = noise
+        self.trace = trace
+        self.sim = Simulator()
+        self.completions = np.full(n, np.nan)
+        self.injections = np.full(n, np.nan)
+        self.active_transfers = 0
+        self.busy_time: dict[tuple[int, int], float] = {}
+        self._rendezvous: dict[tuple[int, int], _Rendezvous] = {}
+
+        # Precompute per-module execution phases and per-edge base durations.
+        self.phases: list[list[tuple[str, str, float]]] = []
+        for m in mapping.modules:
+            ph: list[tuple[str, str, float]] = []
+            for t_idx in range(m.start, m.stop + 1):
+                task = chain.tasks[t_idx]
+                ph.append(("task", task.name, float(task.exec_cost(m.procs))))
+                if t_idx < m.stop:
+                    edge = chain.edges[t_idx]
+                    icom = float(edge.icom(m.procs))
+                    if icom > 0:
+                        label = f"{chain.tasks[t_idx].name}->{chain.tasks[t_idx + 1].name}"
+                        ph.append(("icom", label, icom))
+            self.phases.append(ph)
+        self.edge_base: list[float] = []
+        self.edge_label: list[str] = []
+        for i in range(len(mapping) - 1):
+            a, b = mapping[i], mapping[i + 1]
+            edge = chain.edges[a.stop]
+            self.edge_base.append(float(edge.ecom(a.procs, b.procs)))
+            self.edge_label.append(
+                f"{chain.tasks[a.stop].name}->{chain.tasks[b.start].name}"
+            )
+        # Optional placement model: a transfer between instance rectangles
+        # is slowed per Manhattan hop between their centers — the
+        # "processor locations" effect §2.1 calls second-order.
+        self.hop_factor: dict[tuple[int, int, int], float] = {}
+        if placements is not None and hop_penalty > 0.0:
+            for e in range(len(mapping) - 1):
+                send_rects = placements[e]
+                recv_rects = placements[e + 1]
+                for si, sr in enumerate(send_rects):
+                    for ri, rr in enumerate(recv_rects):
+                        (ar, ac), (br, bc) = sr.center(), rr.center()
+                        hops = abs(ar - br) + abs(ac - bc)
+                        self.hop_factor[(e, si, ri)] = 1.0 + hop_penalty * hops
+
+    # -- rendezvous communication -----------------------------------------
+    def rendezvous_arrive(self, edge: int, dataset: int, worker: _Worker, on_done):
+        key = (edge, dataset)
+        rv = self._rendezvous.setdefault(key, _Rendezvous())
+        rv.parties.append((worker, on_done))
+        if len(rv.parties) < 2:
+            return
+        del self._rendezvous[key]
+        (wa, cb_a), (wb, cb_b) = rv.parties
+        dur = self.edge_base[edge] * self.noise.comm_factor(self.active_transfers)
+        if self.hop_factor:
+            sender = wa if wa.module == edge else wb
+            receiver = wb if sender is wa else wa
+            dur *= self.hop_factor.get(
+                (edge, sender.instance, receiver.instance), 1.0
+            )
+        self.active_transfers += 1
+        for w in (wa, wb):
+            key = (w.module, w.instance)
+            self.busy_time[key] = self.busy_time.get(key, 0.0) + dur
+        t0 = self.sim.now
+        if self.trace is not None:
+            label = self.edge_label[edge]
+            for w in (wa, wb):
+                kind = "send" if w.module == edge else "recv"
+                self.trace.record(
+                    TraceEvent(w.module, w.instance, kind, label, dataset, t0, t0 + dur)
+                )
+
+        def complete():
+            self.active_transfers -= 1
+            cb_a()
+            cb_b()
+
+        self.sim.schedule(dur, complete)
+
+
+def _measure_throughput(run: _Run, mapping: Mapping, n: int, warmup: int) -> float:
+    """Steady-state throughput estimate.
+
+    Replicated final-module instances complete in interleaved waves; when
+    the data-set count does not divide the replica count, the trailing
+    partial wave biases a naive endpoint estimate.  Instead each final
+    instance's own completion stream (strictly periodic in steady state) is
+    rated individually and the rates are summed; instances with too few
+    post-warmup completions fall back to the pooled endpoint estimate.
+    """
+    r_last = mapping.modules[-1].replicas
+    total = 0.0
+    ok = True
+    for c in range(r_last):
+        times = run.completions[c::r_last]
+        # Drop this instance's share of the global warmup.
+        skip = max(1, warmup // r_last)
+        steady = times[skip:]
+        if len(steady) < 3:
+            ok = False
+            break
+        span = steady[-1] - steady[0]
+        if span <= 0:
+            ok = False
+            break
+        total += (len(steady) - 1) / span
+    if ok and total > 0:
+        return float(total)
+    ordered = np.sort(run.completions)
+    t0 = ordered[warmup - 1]
+    t1 = ordered[-1]
+    if t1 <= t0:
+        raise SimulationError("degenerate steady-state window")
+    return float((n - warmup) / (t1 - t0))
+
+
+def simulate(
+    chain: TaskChain,
+    mapping: Mapping,
+    n_datasets: int = 200,
+    noise: NoiseModel | None = None,
+    collect_trace: bool = False,
+    warmup_fraction: float = 0.2,
+    placements=None,
+    hop_penalty: float = 0.0,
+) -> SimulationResult:
+    """Run the pipeline on ``n_datasets`` inputs and measure its behaviour.
+
+    Throughput is measured over the steady-state window (after ``warmup``
+    data sets have drained the pipeline fill transient); latency is the mean
+    end-to-end time of the measured data sets.
+
+    ``placements`` (per-module lists of instance :class:`Rect` objects, as
+    produced by the feasibility checker) together with ``hop_penalty``
+    enables the processor-location effect: each transfer is slowed by
+    ``1 + hop_penalty * manhattan_hops`` between the instance rectangles.
+    The paper found locations to be second order (§2.1); the
+    ``bench_placement`` experiment quantifies that with this knob.
+    """
+    if n_datasets < 2:
+        raise SimulationError("need at least 2 data sets to measure throughput")
+    if placements is not None and len(placements) != len(mapping):
+        raise SimulationError("placements must cover every module")
+    mapping.validate(chain)
+    noise = noise or NoiseModel.silent()
+    trace = TraceLog() if collect_trace else None
+
+    run = _Run(chain, mapping, n_datasets, noise, trace,
+               placements=placements, hop_penalty=hop_penalty)
+    workers = [
+        _Worker(run, i, c)
+        for i, m in enumerate(mapping.modules)
+        for c in range(m.replicas)
+    ]
+    for w in workers:
+        w.start()
+    run.sim.run()
+
+    if np.isnan(run.completions).any():
+        raise SimulationError("simulation deadlocked: some data sets never completed")
+
+    warmup = min(n_datasets - 2, max(1, int(n_datasets * warmup_fraction), 2 * len(mapping)))
+    throughput = _measure_throughput(run, mapping, n_datasets, warmup)
+    latencies = run.completions[warmup:] - run.injections[warmup:]
+    makespan = float(run.completions.max())
+    busy_fractions = {
+        key: busy / makespan if makespan > 0 else 0.0
+        for key, busy in sorted(run.busy_time.items())
+    }
+    return SimulationResult(
+        n_datasets=n_datasets,
+        makespan=makespan,
+        throughput=float(throughput),
+        mean_latency=float(latencies.mean()),
+        completions=run.completions,
+        injections=run.injections,
+        warmup=warmup,
+        events_processed=run.sim.events_processed,
+        busy_fractions=busy_fractions,
+        trace=trace,
+    )

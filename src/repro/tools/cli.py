@@ -1,0 +1,254 @@
+"""Command-line interface: ``repro-map`` / ``python -m repro``.
+
+Subcommands
+-----------
+``map``         run the automatic mapping tool for one workload (``--save``)
+``simulate``    map, then measure the chosen mapping on the simulator
+``trace``       simulate and render an execution trace (``--svg``)
+``table1``      regenerate the paper's Table 1
+``table2``      regenerate the paper's Table 2
+``figures``     regenerate Figures 1–6
+``studies``     accuracy, greedy-vs-DP, scaling, ablations, theorems,
+                frontier, machines, memory, training budget
+``machines``    list machine presets
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from ..machine import PRESETS, by_name as machine_by_name
+from ..workloads import by_name as workload_by_name
+from .mapper import auto_map, measure
+from .report import format_mapping
+
+__all__ = ["main", "build_parser"]
+
+_WORKLOADS = ["fft-hist-256", "fft-hist-512", "radar", "stereo", "airshed", "sar"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-map",
+        description=(
+            "Automatic mapping of pipelines of data-parallel tasks "
+            "(Subhlok & Vondran, PPoPP 1995)"
+        ),
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    def add_workload_args(p):
+        p.add_argument("--workload", "-w", choices=_WORKLOADS,
+                       default="fft-hist-256")
+        p.add_argument("--machine", "-m", choices=sorted(PRESETS),
+                       default="iwarp64-message")
+
+    p_map = sub.add_parser("map", help="run the automatic mapping tool")
+    add_workload_args(p_map)
+    p_map.add_argument("--save", metavar="PLAN.json", default=None,
+                       help="write the plan (mapping + fitted chain) to JSON")
+
+    p_sim = sub.add_parser("simulate", help="map, then measure on the simulator")
+    add_workload_args(p_sim)
+    p_sim.add_argument("--datasets", type=int, default=200)
+
+    p_trace = sub.add_parser("trace", help="simulate and render an execution trace")
+    add_workload_args(p_trace)
+    p_trace.add_argument("--datasets", type=int, default=12)
+    p_trace.add_argument("--svg", metavar="OUT.svg", default=None,
+                         help="also write an SVG rendering")
+
+    p_check = sub.add_parser("check", help="lint a saved mapping against a workload")
+    add_workload_args(p_check)
+    p_check.add_argument("--mapping", required=True, metavar="MAPPING.json")
+
+    p_size = sub.add_parser("size", help="minimum processors for a throughput target")
+    add_workload_args(p_size)
+    p_size.add_argument("--target", type=float, required=True,
+                        help="required data sets per second")
+
+    sub.add_parser("table1", help="regenerate Table 1")
+    sub.add_parser("table2", help="regenerate Table 2")
+    p_fig = sub.add_parser("figures", help="regenerate Figures 1-6")
+    p_fig.add_argument("--only", type=int, choices=range(1, 7), default=None)
+    sub.add_parser("studies", help="accuracy / agreement / scaling / ablations")
+    sub.add_parser("machines", help="list machine presets")
+    return parser
+
+
+def _cmd_trace(args) -> int:
+    from ..core.dp_cluster import optimal_mapping
+    from ..sim.pipeline import simulate
+    from ..sim.trace import render_gantt
+    from ..sim.svg import write_trace_svg
+
+    machine = machine_by_name(args.machine)
+    workload = workload_by_name(args.workload, machine)
+    best = optimal_mapping(
+        workload.chain, machine.total_procs, machine.mem_per_proc_mb
+    )
+    result = simulate(
+        workload.chain, best.mapping, n_datasets=args.datasets,
+        collect_trace=True,
+    )
+    print(f"mapping: {format_mapping(best.mapping, workload.chain)}")
+    print(render_gantt(result.trace, width=100))
+    if args.svg:
+        path = write_trace_svg(result.trace, args.svg)
+        print(f"wrote {path}")
+    return 0
+
+
+def _cmd_check(args) -> int:
+    from ..core.validate import diagnose
+    from .persist import load_mapping
+
+    machine = machine_by_name(args.machine)
+    workload = workload_by_name(args.workload, machine)
+    mapping = load_mapping(args.mapping)
+    diagnosis = diagnose(workload.chain, mapping, machine=machine)
+    print(diagnosis.render())
+    return 0 if diagnosis.ok else 1
+
+
+def _cmd_size(args) -> int:
+    from ..core.dp_cluster import optimal_mapping as solve
+    from ..core.response import build_module_chain
+    from ..core.sizing import min_processors_for_throughput
+
+    machine = machine_by_name(args.machine)
+    workload = workload_by_name(args.workload, machine)
+    best = solve(
+        workload.chain, machine.total_procs, machine.mem_per_proc_mb
+    )
+    mchain = build_module_chain(
+        workload.chain, best.clustering, machine.mem_per_proc_mb
+    )
+    try:
+        res = min_processors_for_throughput(
+            mchain, args.target, machine.total_procs
+        )
+    except Exception as exc:
+        print(f"infeasible: {exc}")
+        print(f"(machine optimum is {best.throughput:.4g} data sets/s)")
+        return 1
+    print(f"target    : {args.target:.4g} data sets/s")
+    print(f"processors: {res.processors} of {machine.total_procs}")
+    print(f"mapping   : {format_mapping(res.mapping, workload.chain)}")
+    print(f"achieves  : {res.throughput:.4g} data sets/s")
+    return 0
+
+
+def _cmd_map(args) -> int:
+    machine = machine_by_name(args.machine)
+    workload = workload_by_name(args.workload, machine)
+    plan = auto_map(workload)
+    print(f"workload : {workload}")
+    print(f"machine  : {machine}")
+    print(f"training : {plan.estimation.training_runs} profiled executions")
+    print(f"DP optimum     : {format_mapping(plan.optimal.mapping, workload.chain)}"
+          f"  -> {plan.optimal.throughput:.4g} data sets/s")
+    print(f"greedy optimum : {format_mapping(plan.heuristic.mapping, workload.chain)}"
+          f"  -> {plan.heuristic.throughput:.4g} data sets/s"
+          f"  (agree: {'yes' if plan.solvers_agree else 'no'})")
+    print(f"feasible       : {format_mapping(plan.mapping, workload.chain)}"
+          f"  -> {plan.predicted_throughput:.4g} data sets/s"
+          f"  (adjusted: {'yes' if plan.feasible.adjusted else 'no'})")
+    if getattr(args, "save", None):
+        from .persist import save_plan_summary
+
+        path = save_plan_summary(plan, args.save)
+        print(f"plan written to {path}")
+    return 0
+
+
+def _cmd_simulate(args) -> int:
+    machine = machine_by_name(args.machine)
+    workload = workload_by_name(args.workload, machine)
+    plan = auto_map(workload)
+    result = measure(workload, plan.mapping, n_datasets=args.datasets)
+    print(f"mapping   : {format_mapping(plan.mapping, workload.chain)}")
+    print(f"predicted : {plan.predicted_throughput:.4g} data sets/s")
+    print(f"measured  : {result.throughput:.4g} data sets/s "
+          f"({100 * (result.throughput - plan.predicted_throughput) / plan.predicted_throughput:+.2f}%)")
+    print(f"latency   : {result.mean_latency:.4g} s/data set")
+    return 0
+
+
+def _cmd_figures(only: int | None) -> int:
+    from .. import experiments as ex
+
+    figures = {
+        1: (ex.fig1, "Figure 1"), 2: (ex.fig2, "Figure 2"),
+        3: (ex.fig3, "Figure 3"), 4: (ex.fig4, "Figure 4"),
+        5: (ex.fig5, "Figure 5"), 6: (ex.fig6, "Figure 6"),
+    }
+    for num, (mod, label) in figures.items():
+        if only is not None and num != only:
+            continue
+        print(mod.render(mod.run()))
+        print()
+    return 0
+
+
+def _cmd_studies() -> int:
+    from .. import experiments as ex
+
+    print(ex.model_accuracy.render(ex.model_accuracy.run()))
+    print()
+    print(ex.greedy_vs_dp.render(ex.greedy_vs_dp.run()))
+    print()
+    print(ex.scaling.render(ex.scaling.run()))
+    print()
+    print(ex.ablations.render(ex.ablations.run()))
+    print()
+    print(ex.theorems.render(
+        [ex.theorems.run_theorem1(), ex.theorems.run_theorem2()]
+    ))
+    print()
+    print(ex.frontier.render(ex.frontier.run()))
+    print()
+    print(ex.machines_study.render(ex.machines_study.run()))
+    print()
+    print(ex.memory_study.render(ex.memory_study.run()))
+    print()
+    print(ex.training_budget.render(ex.training_budget.run()))
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    if args.command == "map":
+        return _cmd_map(args)
+    if args.command == "simulate":
+        return _cmd_simulate(args)
+    if args.command == "trace":
+        return _cmd_trace(args)
+    if args.command == "check":
+        return _cmd_check(args)
+    if args.command == "size":
+        return _cmd_size(args)
+    if args.command == "table1":
+        from .. import experiments as ex
+
+        print(ex.table1.render(ex.table1.run()))
+        return 0
+    if args.command == "table2":
+        from .. import experiments as ex
+
+        print(ex.table2.render(ex.table2.run()))
+        return 0
+    if args.command == "figures":
+        return _cmd_figures(args.only)
+    if args.command == "studies":
+        return _cmd_studies()
+    if args.command == "machines":
+        for name in sorted(PRESETS):
+            print(f"{name:18s} {machine_by_name(name)}")
+        return 0
+    raise AssertionError(f"unhandled command {args.command}")
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

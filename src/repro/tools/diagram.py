@@ -1,0 +1,64 @@
+"""ASCII diagrams: task graphs (Figure 5), mapping layouts (Figures 1 & 6),
+and grid placements."""
+
+from __future__ import annotations
+
+from ..core.mapping import Mapping
+from ..core.task import TaskChain
+from ..machine.machine import MachineSpec
+from ..machine.topology import Rect
+
+__all__ = ["task_graph", "mapping_diagram", "grid_diagram"]
+
+
+def task_graph(chain: TaskChain) -> str:
+    """Figure-5-style task graph of a chain."""
+    lines = ["input", "  |", "  v"]
+    for i, task in enumerate(chain.tasks):
+        lines.append(f"[ {task.name} ]" + ("" if task.replicable else "   (not replicable)"))
+        if i < len(chain.edges):
+            edge = chain.edges[i]
+            icom_free = edge.icom(4) == 0.0
+            note = "matching distributions" if icom_free else "redistribution"
+            lines.append(f"  |  ({note})")
+            lines.append("  v")
+    lines += ["  |", "  v", "output"]
+    return "\n".join(lines)
+
+
+def mapping_diagram(mapping: Mapping, chain: TaskChain, total_procs: int) -> str:
+    """Figure-6-style module/replica diagram of a mapping."""
+    lines = []
+    used = 0
+    for i, m in enumerate(mapping.modules):
+        names = ", ".join(t.name for t in m.tasks_of(chain))
+        used += m.total_procs
+        lines.append(
+            f"Module {i + 1}: [{names}]  "
+            f"{m.replicas} instance(s) x {m.procs} processors "
+            f"= {m.total_procs} procs"
+        )
+        boxes = "  ".join(f"[{m.procs:>2}p]" for _ in range(min(m.replicas, 12)))
+        if m.replicas > 12:
+            boxes += f"  ... ({m.replicas} total)"
+        lines.append("    " + boxes)
+    lines.append(f"Processors used: {used} / {total_procs}")
+    return "\n".join(lines)
+
+
+def grid_diagram(
+    placements: list[list[Rect]], machine: MachineSpec
+) -> str:
+    """Render instance rectangles on the processor grid.
+
+    Instances of module ``i`` print as the letter ``chr(ord('A') + i)``;
+    idle processors print ``.``.
+    """
+    grid = [["." for _ in range(machine.cols)] for _ in range(machine.rows)]
+    for mod_idx, rects in enumerate(placements):
+        ch = chr(ord("A") + (mod_idx % 26))
+        for rect in rects:
+            for r, c in rect.cells():
+                grid[r][c] = ch
+    header = f"{machine.rows}x{machine.cols} grid (letters = modules, '.' = idle)"
+    return header + "\n" + "\n".join(" ".join(row) for row in grid)

@@ -1,0 +1,100 @@
+"""The automatic mapping tool (paper §1, §5, §6) end to end.
+
+``auto_map`` reproduces the full loop the Fx tool ran:
+
+1. **Profile** — execute the program (the simulator stands in for the
+   iWarp) under a small training set of mappings (§5, 8 runs);
+2. **Fit** — least-squares the polynomial cost and memory models;
+3. **Map** — run both the optimal DP mapper (§3) and the greedy heuristic
+   (§4) on the *fitted* chain and compare them (§6.3's key result is that
+   they agree);
+4. **Constrain** — find the best machine-feasible mapping (§6.1);
+5. optionally **Validate** — run the chosen mapping on the "real" system
+   and compare measured with predicted throughput (Table 2).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..core.cluster_greedy import HeuristicResult, heuristic_mapping
+from ..core.dp_cluster import ClusteredResult, optimal_mapping
+from ..core.mapping import Mapping
+from ..estimate.estimator import EstimationResult, estimate_chain
+from ..machine.feasibility import FeasibleResult, optimal_feasible_mapping
+from ..sim.noise import NoiseModel
+from ..sim.pipeline import SimulationResult, simulate
+from ..workloads.base import Workload
+
+__all__ = ["MappingPlan", "auto_map", "measure"]
+
+
+@dataclass
+class MappingPlan:
+    """Everything the automatic mapping tool produced for one program."""
+
+    workload: Workload
+    estimation: EstimationResult
+    optimal: ClusteredResult        # DP mapper on the fitted chain
+    heuristic: HeuristicResult      # greedy mapper on the fitted chain
+    feasible: FeasibleResult        # machine-constrained optimum
+
+    @property
+    def mapping(self) -> Mapping:
+        """The mapping the tool would deploy (machine-feasible optimum)."""
+        return self.feasible.mapping
+
+    @property
+    def predicted_throughput(self) -> float:
+        return self.feasible.throughput
+
+    @property
+    def solvers_agree(self) -> bool:
+        """Did greedy reach the DP optimum (§6.3's key result)?"""
+        return abs(self.heuristic.throughput - self.optimal.throughput) <= (
+            1e-9 * max(self.optimal.throughput, 1e-300)
+        )
+
+
+def auto_map(
+    workload: Workload,
+    profile_datasets: int = 60,
+    profile_noise: NoiseModel | None = None,
+    method: str = "auto",
+) -> MappingPlan:
+    """Run the complete §5 + §3/§4 + §6.1 pipeline for one workload."""
+    machine = workload.machine
+    est = estimate_chain(
+        workload.chain,
+        machine.total_procs,
+        machine.mem_per_proc_mb,
+        n_datasets=profile_datasets,
+        noise=profile_noise,
+    )
+    fitted = est.fitted_chain
+    optimal = optimal_mapping(
+        fitted, machine.total_procs, machine.mem_per_proc_mb, method=method
+    )
+    heuristic = heuristic_mapping(
+        fitted, machine.total_procs, machine.mem_per_proc_mb
+    )
+    feasible = optimal_feasible_mapping(fitted, machine, method=method)
+    return MappingPlan(
+        workload=workload,
+        estimation=est,
+        optimal=optimal,
+        heuristic=heuristic,
+        feasible=feasible,
+    )
+
+
+def measure(
+    workload: Workload,
+    mapping: Mapping,
+    n_datasets: int = 200,
+    noise: NoiseModel | None = None,
+) -> SimulationResult:
+    """Measure a mapping on the "real" system (the true-cost simulator)."""
+    return simulate(
+        workload.chain, mapping, n_datasets=n_datasets, noise=noise
+    )

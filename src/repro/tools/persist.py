@@ -1,0 +1,94 @@
+"""JSON persistence for chains, mappings, and mapping plans.
+
+A mapping produced offline (the paper's compile-time scenario) must be
+loadable by the runtime that deploys it; fitted chains are also worth
+keeping so the expensive profiling step is not repeated.  Lambda-based
+*true* cost models are intentionally not serialisable — only fitted
+(polynomial/tabulated) chains round-trip, which is exactly what a compiler
+would persist.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from ..core.mapping import Mapping
+from ..core.task import TaskChain
+
+__all__ = [
+    "save_mapping",
+    "load_mapping",
+    "save_chain",
+    "load_chain",
+    "save_plan_summary",
+]
+
+_FORMAT = "repro/v1"
+
+
+def save_mapping(mapping: Mapping, path: str | Path) -> Path:
+    """Write a mapping to JSON."""
+    path = Path(path)
+    payload = {"format": _FORMAT, "kind": "mapping", **mapping.to_dict()}
+    path.write_text(json.dumps(payload, indent=2) + "\n")
+    return path
+
+
+def load_mapping(path: str | Path) -> Mapping:
+    """Read a mapping written by :func:`save_mapping`."""
+    payload = json.loads(Path(path).read_text())
+    _check(payload, "mapping")
+    return Mapping.from_dict(payload)
+
+
+def save_chain(chain: TaskChain, path: str | Path) -> Path:
+    """Write a (fitted) chain to JSON.
+
+    Raises ``NotImplementedError`` if any cost model is not serialisable
+    (e.g. the Lambda-based true models of the bundled workloads).
+    """
+    path = Path(path)
+    payload = {"format": _FORMAT, "kind": "chain", **chain.to_dict()}
+    path.write_text(json.dumps(payload, indent=2) + "\n")
+    return path
+
+
+def load_chain(path: str | Path) -> TaskChain:
+    """Read a chain written by :func:`save_chain`."""
+    payload = json.loads(Path(path).read_text())
+    _check(payload, "chain")
+    return TaskChain.from_dict(payload)
+
+
+def save_plan_summary(plan, path: str | Path) -> Path:
+    """Write a human/CI-readable summary of an auto_map plan: the chosen
+    mapping, predictions, and solver agreement (the fitted chain is stored
+    inline so the plan can be re-evaluated without re-profiling)."""
+    path = Path(path)
+    payload = {
+        "format": _FORMAT,
+        "kind": "plan",
+        "workload": plan.workload.name,
+        "machine": plan.workload.machine.name,
+        "mapping": plan.mapping.to_dict(),
+        "predicted_throughput": plan.predicted_throughput,
+        "dp_throughput": plan.optimal.throughput,
+        "greedy_throughput": plan.heuristic.throughput,
+        "solvers_agree": plan.solvers_agree,
+        "training_runs": plan.estimation.training_runs,
+        "fitted_chain": plan.estimation.fitted_chain.to_dict(),
+    }
+    path.write_text(json.dumps(payload, indent=2) + "\n")
+    return path
+
+
+def _check(payload: dict, kind: str) -> None:
+    if payload.get("format") != _FORMAT:
+        raise ValueError(
+            f"not a {_FORMAT} file (format={payload.get('format')!r})"
+        )
+    if payload.get("kind") != kind:
+        raise ValueError(
+            f"expected a {kind} file, found {payload.get('kind')!r}"
+        )

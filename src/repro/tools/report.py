@@ -1,0 +1,50 @@
+"""Plain-text table rendering in the paper's style."""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+__all__ = ["render_table", "format_mapping"]
+
+
+def render_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence[object]],
+    title: str = "",
+) -> str:
+    """Render an aligned ASCII table.
+
+    Floats print with 4 significant digits; everything else with ``str``.
+    """
+
+    def fmt(cell: object) -> str:
+        if isinstance(cell, float):
+            return f"{cell:.4g}"
+        return str(cell)
+
+    text_rows = [[fmt(c) for c in row] for row in rows]
+    widths = [
+        max(len(h), *(len(r[i]) for r in text_rows)) if text_rows else len(h)
+        for i, h in enumerate(headers)
+    ]
+    sep = "-+-".join("-" * w for w in widths)
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append(" | ".join(h.ljust(w) for h, w in zip(headers, widths)))
+    lines.append(sep)
+    for r in text_rows:
+        lines.append(" | ".join(c.ljust(w) for c, w in zip(r, widths)))
+    return "\n".join(lines)
+
+
+def format_mapping(mapping, chain=None) -> str:
+    """Compact human-readable mapping: ``{a,b}x10@4p | {c}x8@3p``."""
+    parts = []
+    for m in mapping.modules:
+        if chain is not None:
+            names = ",".join(t.name for t in m.tasks_of(chain))
+        else:
+            names = f"{m.start}..{m.stop}"
+        parts.append(f"{{{names}}}x{m.replicas}@{m.procs}p")
+    return " | ".join(parts)

@@ -1,0 +1,42 @@
+"""Benchmark workloads: the paper's three applications plus synthetic
+chains.  Each builder returns a :class:`Workload` whose chain carries the
+*true* cost models the simulator executes."""
+
+from .airshed import airshed
+from .base import Workload
+from .fft_hist import fft_hist
+from .sar import sar
+from .radar import radar
+from .stereo import stereo
+from .synthetic import bottleneck_chain, random_chain, uniform_chain
+
+__all__ = [
+    "Workload",
+    "fft_hist",
+    "radar",
+    "airshed",
+    "sar",
+    "stereo",
+    "random_chain",
+    "uniform_chain",
+    "bottleneck_chain",
+    "by_name",
+]
+
+
+def by_name(name: str, machine) -> Workload:
+    """Look up a workload by CLI name, e.g. ``fft-hist-256`` or ``radar``."""
+    builders = {
+        "fft-hist-256": lambda m: fft_hist(256, m),
+        "fft-hist-512": lambda m: fft_hist(512, m),
+        "radar": radar,
+        "stereo": stereo,
+        "airshed": airshed,
+        "sar": sar,
+    }
+    try:
+        return builders[name](machine)
+    except KeyError:
+        raise KeyError(
+            f"unknown workload {name!r}; available: {sorted(builders)}"
+        ) from None

@@ -1,0 +1,99 @@
+"""Airshed pollution model — a CMU Fx multidisciplinary application.
+
+The airshed (air-quality) model was one of the task-and-data-parallel
+programs built at CMU in the Fx framework era (cf. ref [3]'s
+multidisciplinary setting).  Per simulated time step: emissions update
+(light), horizontal transport solve (heavy, internally communicating),
+photochemistry (very heavy but cell-independent — perfectly parallel and
+replicable), and deposition/output (light, sequential accumulation state,
+not replicable).
+
+No published mapping numbers exist for this program in the paper, so it
+carries no ``paper`` reference — it broadens the workload matrix and the
+test battery.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..core.cost import LambdaUnary, ZeroUnary
+from ..core.task import Edge, Task, TaskChain
+from ..machine.machine import MachineSpec
+from .base import Workload
+from .fft_hist import FLOPS_PER_PROC, _ecom_model, _icom_model
+
+__all__ = ["airshed"]
+
+
+def airshed(
+    machine: MachineSpec,
+    cells: int = 40_000,
+    species: int = 35,
+) -> Workload:
+    """Build the airshed workload (``cells`` grid cells, ``species``
+    chemical species)."""
+    if cells < 100 or species < 1:
+        raise ValueError("airshed needs cells >= 100 and species >= 1")
+    state_mb = 4.0 * cells * species / 1e6
+    c = machine.comm
+
+    emissions_work = 5.0 * cells / FLOPS_PER_PROC
+    transport_work = 40.0 * cells * 2 / FLOPS_PER_PROC
+    chemistry_work = 60.0 * cells * species / FLOPS_PER_PROC
+    deposit_work = 4.0 * cells / FLOPS_PER_PROC
+
+    emissions = Task(
+        "emissions",
+        LambdaUnary(lambda p: 1e-3 + emissions_work / p + 2e-4 * p, "emissions"),
+        mem_parallel_mb=0.5 * state_mb,
+        replicable=True,
+    )
+    transport = Task(
+        "transport",
+        # Halo exchanges every sweep: a log-ish internal comm term.
+        LambdaUnary(
+            lambda p: (
+                1e-3
+                + transport_work / p
+                + 4.0 * (c.alpha_s + 2e-4 * np.sqrt(p))
+                + 2e-4 * p
+            ),
+            "transport",
+        ),
+        mem_parallel_mb=1.5 * state_mb,
+        replicable=True,
+    )
+    chemistry = Task(
+        "chemistry",
+        # Cell-independent ODE integration: embarrassingly parallel.
+        LambdaUnary(lambda p: 1e-3 + chemistry_work / p + 1e-4 * p, "chemistry"),
+        mem_parallel_mb=2.0 * state_mb,
+        replicable=True,
+    )
+    deposit = Task(
+        "deposit",
+        LambdaUnary(lambda p: 5e-3 + deposit_work / p + 2e-4 * p, "deposit"),
+        mem_parallel_mb=0.5 * state_mb,
+        replicable=False,  # accumulates across time steps
+    )
+
+    edges = [
+        Edge(icom=_icom_model(machine, 0.5 * state_mb, "airshed-icom"),
+             ecom=_ecom_model(machine, 0.5 * state_mb, "airshed-ecom")),
+        # transport's output layout matches chemistry's input layout.
+        Edge(icom=ZeroUnary(),
+             ecom=_ecom_model(machine, state_mb, "airshed-ecom")),
+        Edge(icom=_icom_model(machine, 0.3 * state_mb, "airshed-icom"),
+             ecom=_ecom_model(machine, 0.3 * state_mb, "airshed-ecom")),
+    ]
+    chain = TaskChain(
+        [emissions, transport, chemistry, deposit], edges,
+        name=f"airshed-{cells // 1000}k",
+    )
+    return Workload(
+        name=f"airshed/{machine.comm_kind}",
+        chain=chain,
+        machine=machine,
+        description=f"air-quality model, {cells} cells x {species} species",
+    )

@@ -1,0 +1,30 @@
+"""Workload wrapper: a task chain with true costs, bound to a machine."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..core.task import TaskChain
+from ..machine.machine import MachineSpec
+
+__all__ = ["Workload"]
+
+
+@dataclass
+class Workload:
+    """A benchmark program instance.
+
+    ``chain`` carries the *true* cost models (what the simulator executes);
+    the mapping tool never sees them directly — it works from profiles, as
+    the paper's tool did.  ``paper`` records the published reference numbers
+    for EXPERIMENTS.md comparisons, where available.
+    """
+
+    name: str
+    chain: TaskChain
+    machine: MachineSpec
+    description: str = ""
+    paper: dict = field(default_factory=dict)
+
+    def __str__(self):
+        return f"{self.name} on {self.machine.name} ({len(self.chain)} tasks)"

@@ -1,0 +1,197 @@
+"""FFT-Hist — the paper's running example (§6.2–§6.3, Figures 5 & 6).
+
+The program reads a stream of ``n × n`` complex arrays; for each it runs
+1-D FFTs down the columns (``colffts``), 1-D FFTs along the rows
+(``rowffts``, after a transpose), and a statistical analysis (``hist``).
+``colffts``/``rowffts`` are perfectly parallel with no internal
+communication; ``hist`` has significant internal communication (parallel
+reduction of statistics); the ``colffts -> rowffts`` edge is a transpose
+whose cost is comparable whether the tasks share processors or not, while
+``rowffts -> hist`` uses matching distributions — free if merged, a full
+copy if split.  These properties drive the paper's optimal mapping:
+module 1 = {colffts}, module 2 = {rowffts, hist}, both heavily replicated
+at 256² and barely at 512² (memory minimums grow ~4×).
+
+True costs are derived from operation counts (5 n² log₂ n flops per FFT
+pass, n² log₂ p reduction work in hist) and the machine's communication
+parameters; ``hist`` deliberately includes a ``log₂ p`` term *outside* the
+§5 polynomial family so model fitting has honest residual error.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..core.cost import LambdaBinary, LambdaUnary, ZeroUnary
+from ..core.task import Edge, Task, TaskChain
+from ..machine.machine import MachineSpec
+from .base import Workload
+
+__all__ = ["fft_hist", "FLOPS_PER_PROC"]
+
+#: Effective arithmetic rate per processor (flops/s).  Calibrated so the
+#: simulated FFT-Hist throughputs land in the paper's range (Table 1).
+FLOPS_PER_PROC = 1.75e6
+
+#: hist statistical work per array element (flops).
+_HIST_FLOPS_PER_ELEM = 30.0
+
+#: Per-processor synchronisation/bookkeeping overhead of one data-parallel
+#: step (seconds per processor).  This is what makes 64-way execution of a
+#: 256x256 problem collapse, as the paper's measured data-parallel
+#: throughputs show.
+_STEP_OVERHEAD_S = 5.0e-4
+
+#: hist reduction: ceil(log2 p) combine steps, each paying a message startup
+#: plus a per-processor coefficient (tables gathered across the partition).
+_HIST_REDUCE_PROC_S = 6.0e-4
+
+#: Workspace factors: arrays held per task, in units of one n*n array.
+_COLFFTS_ARRAYS = 2.9
+_ROWFFTS_ARRAYS = 1.3
+_HIST_ARRAY_FRACTION = 1.0
+_HIST_FIXED_MB = 0.1
+_HIST_BUFFER_MB = 0.15
+
+
+def _array_mb(n: int) -> float:
+    """One n×n single-precision complex array, in MB."""
+    return 8.0 * n * n / 1e6
+
+
+def _fft_flops(n: int) -> float:
+    """One pass of n size-n FFTs: 5 n^2 log2 n flops."""
+    return 5.0 * n * n * np.log2(n)
+
+
+def _ecom_model(machine: MachineSpec, volume_mb: float, name: str) -> LambdaBinary:
+    """External redistribution of ``volume_mb`` between two processor groups.
+
+    A block redistribution is all-to-all-ish: each endpoint exchanges with
+    roughly the other side's width, so message startups scale with the
+    partition widths, and each group carries ``volume/p``."""
+    c = machine.comm
+
+    def fn(ps, pr):
+        return (
+            0.5 * c.alpha_s * (ps + pr)
+            + 0.5 * volume_mb * c.beta_s_per_mb * (1.0 / ps + 1.0 / pr)
+            + c.proc_overhead_s * (ps + pr)
+        )
+
+    return LambdaBinary(fn, name)
+
+
+def _icom_model(machine: MachineSpec, volume_mb: float, name: str) -> LambdaUnary:
+    """In-place redistribution (transpose) of ``volume_mb`` across one group:
+    every processor exchanges a block with every other (p-1 startups)."""
+    c = machine.comm
+
+    def fn(p):
+        return c.redist_fraction * (
+            c.alpha_s * np.maximum(p - 1, 1)
+            + volume_mb * c.beta_s_per_mb / p
+            + 2.0 * c.proc_overhead_s * p
+        )
+
+    return LambdaUnary(fn, name)
+
+
+def fft_hist(
+    n: int,
+    machine: MachineSpec,
+    hist_flops_per_elem: float = _HIST_FLOPS_PER_ELEM,
+    hist_reduce_proc_s: float = _HIST_REDUCE_PROC_S,
+    hist_array_fraction: float = _HIST_ARRAY_FRACTION,
+    hist_fixed_mb: float = _HIST_FIXED_MB,
+    rowffts_arrays: float = _ROWFFTS_ARRAYS,
+    step_overhead_s: float = _STEP_OVERHEAD_S,
+) -> Workload:
+    """Build the FFT-Hist workload for ``n × n`` arrays on ``machine``.
+
+    The keyword overrides exist for calibration studies; the defaults are
+    the calibrated values used everywhere else.
+    """
+    if n < 4:
+        raise ValueError("FFT-Hist needs n >= 4")
+    arr = _array_mb(n)
+    fft_work = _fft_flops(n) / FLOPS_PER_PROC
+    hist_work = hist_flops_per_elem * n * n / FLOPS_PER_PROC
+    c = machine.comm
+
+    colffts = Task(
+        "colffts",
+        # Parallel FFT pass, no communication; per-processor step overhead.
+        LambdaUnary(
+            lambda p: 1e-3 + fft_work / p + step_overhead_s * p, "colffts"
+        ),
+        mem_parallel_mb=_COLFFTS_ARRAYS * arr,
+        replicable=True,
+    )
+    rowffts = Task(
+        "rowffts",
+        LambdaUnary(
+            lambda p: 1e-3 + fft_work / p + step_overhead_s * p, "rowffts"
+        ),
+        mem_parallel_mb=rowffts_arrays * arr,
+        replicable=True,
+    )
+    hist = Task(
+        "hist",
+        # Parallel analysis + ceil(log2 p) reduction steps, each paying a
+        # startup and a width-dependent gather cost (hist's "significant
+        # amount of internal communication", §6.2).
+        LambdaUnary(
+            lambda p: (
+                2e-3
+                + hist_work / p
+                + np.ceil(np.log2(np.maximum(p, 1)))
+                * (c.alpha_s + hist_reduce_proc_s * p)
+                + step_overhead_s * p
+            ),
+            "hist",
+        ),
+        mem_parallel_mb=hist_array_fraction * arr + _HIST_BUFFER_MB,
+        mem_fixed_mb=hist_fixed_mb,
+        replicable=True,
+    )
+
+    transpose = Edge(
+        # The transpose costs about the same mapped together or apart (§6.3).
+        icom=_icom_model(machine, arr, "transpose-icom"),
+        ecom=_ecom_model(machine, arr, "transpose-ecom"),
+    )
+    handoff = Edge(
+        # rowffts and hist use the same distribution: merging eliminates the
+        # transfer entirely; splitting pays a full array copy.
+        icom=ZeroUnary(),
+        ecom=_ecom_model(machine, arr, "handoff-ecom"),
+    )
+
+    chain = TaskChain([colffts, rowffts, hist], [transpose, handoff],
+                      name=f"fft-hist-{n}")
+
+    paper = {}
+    key = (n, machine.comm_kind)
+    table1 = {
+        (256, "message"): dict(p1=3, r1=8, p2=4, r2=10, throughput=14.60),
+        (256, "systolic"): dict(p1=3, r1=6, p2=4, r2=11, throughput=14.74),
+        (512, "message"): dict(p1=20, r1=1, p2=14, r2=3, throughput=3.14),
+        (512, "systolic"): dict(p1=12, r1=2, p2=13, r2=3, throughput=2.99),
+    }
+    table2 = {
+        (256, "message"): dict(predicted=14.60, measured=16.28, data_parallel=1.86, ratio=8.75),
+        (256, "systolic"): dict(predicted=14.74, measured=14.35, data_parallel=1.86, ratio=7.72),
+        (512, "message"): dict(predicted=3.14, measured=2.93, data_parallel=1.35, ratio=2.17),
+        (512, "systolic"): dict(predicted=2.83, measured=2.65, data_parallel=1.35, ratio=1.96),
+    }
+    if key in table1:
+        paper = {"table1": table1[key], "table2": table2[key]}
+
+    return Workload(
+        name=f"fft-hist-{n}/{machine.comm_kind}",
+        chain=chain,
+        machine=machine,
+        description=f"2-D FFT + statistical analysis of {n}x{n} complex arrays",
+        paper=paper,
+    )

@@ -1,0 +1,79 @@
+"""Synthetic aperture radar (SAR) image formation.
+
+A classic streaming signal-processing pipeline of the paper's class
+(range-Doppler algorithm): range FFT + matched filter over each pulse, a
+corner turn (full transpose of the data matrix), azimuth FFT + focusing,
+and magnitude detection/output.  Structurally it is FFT-Hist's bigger
+sibling — two FFT passes separated by a transpose — with a heavier compute
+:communication ratio, which shifts its optimal mapping toward larger,
+less-replicated modules.
+
+No published mapping numbers exist for SAR in the paper; the workload
+broadens the library and the test battery.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..core.cost import LambdaUnary
+from ..core.task import Edge, Task, TaskChain
+from ..machine.machine import MachineSpec
+from .base import Workload
+from .fft_hist import FLOPS_PER_PROC, _ecom_model, _icom_model
+
+__all__ = ["sar"]
+
+
+def sar(
+    machine: MachineSpec,
+    pulses: int = 512,
+    range_bins: int = 1024,
+) -> Workload:
+    """Build the SAR workload (``pulses`` x ``range_bins`` complex matrix)."""
+    if pulses < 8 or range_bins < 8:
+        raise ValueError("sar needs pulses >= 8 and range_bins >= 8")
+    matrix_mb = 8.0 * pulses * range_bins / 1e6
+    samples = pulses * range_bins
+
+    # Each pass: FFT + pointwise filter multiply + inverse FFT.
+    range_work = (2 * 5.0 * samples * np.log2(range_bins) + 6 * samples) / FLOPS_PER_PROC
+    azimuth_work = (2 * 5.0 * samples * np.log2(pulses) + 6 * samples) / FLOPS_PER_PROC
+    detect_work = 8.0 * samples / FLOPS_PER_PROC
+
+    range_comp = Task(
+        "range_compress",
+        LambdaUnary(lambda p: 1e-3 + range_work / p + 3e-4 * p, "range"),
+        mem_parallel_mb=2.5 * matrix_mb,
+        replicable=True,
+    )
+    azimuth = Task(
+        "azimuth_focus",
+        LambdaUnary(lambda p: 1e-3 + azimuth_work / p + 3e-4 * p, "azimuth"),
+        mem_parallel_mb=2.5 * matrix_mb,
+        replicable=True,
+    )
+    detect = Task(
+        "detect",
+        LambdaUnary(lambda p: 1e-3 + detect_work / p + 2e-4 * p, "detect"),
+        mem_parallel_mb=1.0 * matrix_mb,
+        replicable=True,
+    )
+
+    edges = [
+        # The corner turn: a full matrix transpose either way.
+        Edge(icom=_icom_model(machine, matrix_mb, "corner-turn-icom"),
+             ecom=_ecom_model(machine, matrix_mb, "corner-turn-ecom")),
+        Edge(icom=_icom_model(machine, 0.5 * matrix_mb, "sar-icom"),
+             ecom=_ecom_model(machine, 0.5 * matrix_mb, "sar-ecom")),
+    ]
+    chain = TaskChain(
+        [range_comp, azimuth, detect], edges,
+        name=f"sar-{pulses}x{range_bins}",
+    )
+    return Workload(
+        name=f"sar/{machine.comm_kind}",
+        chain=chain,
+        machine=machine,
+        description=f"SAR image formation, {pulses} pulses x {range_bins} range bins",
+    )

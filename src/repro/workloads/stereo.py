@@ -1,0 +1,99 @@
+"""Multibaseline stereo (paper §1 & §6.4, Table 2; Webb [15]).
+
+Three cameras produce an image triple per data set.  The pipeline computes,
+for each of 16 disparity levels, a difference image between the shifted
+camera images; an error image per difference image; and a minimum reduction
+across error images yielding the depth map.  The difference/error stages
+are embarrassingly parallel across disparities and rows; the reduction has
+internal communication.  All stages are replicable (no cross-data-set
+state), which is why the paper's stereo mapping used replication freely.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..core.cost import LambdaUnary, ZeroUnary
+from ..core.task import Edge, Task, TaskChain
+from ..machine.machine import MachineSpec
+from .base import Workload
+from .fft_hist import FLOPS_PER_PROC, _ecom_model, _icom_model
+
+__all__ = ["stereo"]
+
+#: Per-processor synchronisation overhead of one stereo pipeline step.
+_STEP_OVERHEAD_S = 0.5e-4
+
+#: Disparity levels searched (the paper's program uses 16).
+DISPARITIES = 16
+
+
+def stereo(
+    machine: MachineSpec,
+    width: int = 256,
+    height: int = 100,
+    step_overhead_s: float = _STEP_OVERHEAD_S,
+) -> Workload:
+    """Build the multibaseline stereo workload (``width x height`` images)."""
+    if width < 8 or height < 8:
+        raise ValueError("stereo needs images of at least 8x8")
+    pixels = width * height
+    image_mb = pixels / 1e6                     # 8-bit camera image
+    float_image_mb = 4.0 * pixels / 1e6         # float intermediate
+    c = machine.comm
+
+    capture_work = 3.0 * pixels / FLOPS_PER_PROC
+    diff_work = DISPARITIES * 3.0 * pixels / FLOPS_PER_PROC
+    error_work = DISPARITIES * 2.0 * pixels / FLOPS_PER_PROC
+    reduce_work = DISPARITIES * pixels / FLOPS_PER_PROC
+
+    def step(work, serial=2e-4):
+        return LambdaUnary(
+            lambda p, w=work, s=serial: s + w / p + step_overhead_s * p, "step"
+        )
+
+    capture = Task("capture", step(capture_work),
+                   mem_parallel_mb=3 * image_mb, replicable=True)
+    diff = Task("diff", step(diff_work),
+                mem_parallel_mb=3 * image_mb + DISPARITIES * image_mb,
+                replicable=True)
+    error = Task("error", step(error_work),
+                 mem_parallel_mb=2 * DISPARITIES * image_mb, replicable=True)
+    minreduce = Task(
+        "minreduce",
+        # min across disparities + gather of the depth image: log2(p) steps.
+        LambdaUnary(
+            lambda p: (
+                2e-4
+                + reduce_work / p
+                + np.ceil(np.log2(np.maximum(p, 1))) * (c.alpha_s + 5e-5 * p)
+                + step_overhead_s * p
+            ),
+            "minreduce",
+        ),
+        mem_parallel_mb=DISPARITIES * image_mb + float_image_mb,
+        replicable=True,
+    )
+
+    edges = [
+        Edge(icom=_icom_model(machine, 3 * image_mb, "stereo-icom"),
+             ecom=_ecom_model(machine, 3 * image_mb, "stereo-ecom")),
+        # diff -> error and error -> minreduce use matching distributions:
+        # free in place, a full copy when the modules are separated.
+        Edge(icom=ZeroUnary(),
+             ecom=_ecom_model(machine, DISPARITIES * image_mb, "stereo-ecom")),
+        Edge(icom=ZeroUnary(),
+             ecom=_ecom_model(machine, DISPARITIES * image_mb, "stereo-ecom")),
+    ]
+    chain = TaskChain([capture, diff, error, minreduce], edges,
+                      name=f"stereo-{width}x{height}")
+    return Workload(
+        name=f"stereo/{machine.comm_kind}",
+        chain=chain,
+        machine=machine,
+        description=f"multibaseline stereo, {width}x{height}, {DISPARITIES} disparities",
+        paper={
+            "table2": dict(predicted=43.12, measured=43.15,
+                           data_parallel=15.67, ratio=2.75),
+        },
+    )

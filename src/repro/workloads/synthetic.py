@@ -1,0 +1,94 @@
+"""Synthetic chain generators.
+
+Random, well-behaved chains (no superlinear speedup, execution-dominated
+with non-trivial communication — the regime the paper targets) for
+property tests, greedy-vs-DP studies, and the complexity-scaling
+benchmarks.  All generators are deterministic in their seed.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..core.cost import PolynomialEComm, PolynomialExec, PolynomialIComm
+from ..core.task import Edge, Task, TaskChain
+from .base import Workload
+
+__all__ = ["random_chain", "uniform_chain", "bottleneck_chain"]
+
+
+def random_chain(
+    k: int,
+    seed: int = 0,
+    work_range: tuple[float, float] = (2.0, 40.0),
+    comm_scale: float = 1.0,
+    replicable_prob: float = 0.7,
+    with_memory: bool = False,
+) -> TaskChain:
+    """A random chain with §5-family cost models."""
+    if k < 1:
+        raise ValueError("need at least one task")
+    rng = np.random.default_rng(seed)
+    tasks = []
+    for i in range(k):
+        tasks.append(
+            Task(
+                name=f"t{i}",
+                exec_cost=PolynomialExec(
+                    c_fixed=float(rng.uniform(0.0, 0.3)),
+                    c_parallel=float(rng.uniform(*work_range)),
+                    c_overhead=float(rng.uniform(0.0, 0.02)),
+                ),
+                replicable=bool(rng.random() < replicable_prob),
+                mem_fixed_mb=float(rng.uniform(0.0, 0.1)) if with_memory else 0.0,
+                mem_parallel_mb=float(rng.uniform(0.5, 4.0)) if with_memory else 0.0,
+            )
+        )
+    edges = []
+    for _ in range(k - 1):
+        edges.append(
+            Edge(
+                icom=PolynomialIComm(
+                    float(rng.uniform(0.0, 0.05)) * comm_scale,
+                    float(rng.uniform(0.0, 2.0)) * comm_scale,
+                    float(rng.uniform(0.0, 0.005)) * comm_scale,
+                ),
+                ecom=PolynomialEComm(
+                    float(rng.uniform(0.0, 0.1)) * comm_scale,
+                    float(rng.uniform(0.0, 3.0)) * comm_scale,
+                    float(rng.uniform(0.0, 3.0)) * comm_scale,
+                    float(rng.uniform(0.0, 0.01)) * comm_scale,
+                    float(rng.uniform(0.0, 0.01)) * comm_scale,
+                ),
+            )
+        )
+    return TaskChain(tasks, edges, name=f"synthetic-k{k}-s{seed}")
+
+
+def uniform_chain(k: int, work: float = 10.0, comm: float = 0.5) -> TaskChain:
+    """Identical tasks and edges — useful when effects must be isolated."""
+    tasks = [
+        Task(f"u{i}", PolynomialExec(0.01, work, 0.001)) for i in range(k)
+    ]
+    edges = [
+        Edge(
+            icom=PolynomialIComm(0.01, comm, 0.001),
+            ecom=PolynomialEComm(0.02, comm, comm, 0.001, 0.001),
+        )
+        for _ in range(k - 1)
+    ]
+    return TaskChain(tasks, edges, name=f"uniform-k{k}")
+
+
+def bottleneck_chain(k: int, heavy_index: int, factor: float = 8.0) -> TaskChain:
+    """A uniform chain with one task ``factor`` times heavier — the
+    canonical shape for exercising bottleneck-driven allocation."""
+    if not 0 <= heavy_index < k:
+        raise ValueError("heavy_index out of range")
+    chain = uniform_chain(k)
+    tasks = list(chain.tasks)
+    tasks[heavy_index] = Task(
+        f"u{heavy_index}",
+        PolynomialExec(0.01, 10.0 * factor, 0.001),
+    )
+    return TaskChain(tasks, chain.edges, name=f"bottleneck-k{k}-i{heavy_index}")

@@ -1,0 +1,160 @@
+"""Unit tests for the cost-model families (paper §5)."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    PolynomialEComm,
+    PolynomialExec,
+    PolynomialIComm,
+    ScaledUnary,
+    SumUnary,
+    TabulatedBinary,
+    TabulatedUnary,
+    ZeroBinary,
+    ZeroUnary,
+    model_from_dict,
+)
+
+
+class TestPolynomialExec:
+    def test_matches_formula(self):
+        m = PolynomialExec(c_fixed=1.0, c_parallel=12.0, c_overhead=0.5)
+        assert m(4) == pytest.approx(1.0 + 12.0 / 4 + 0.5 * 4)
+
+    def test_scalar_returns_float(self):
+        m = PolynomialExec(1.0, 2.0, 0.0)
+        assert isinstance(m(3), float)
+
+    def test_vectorised(self):
+        m = PolynomialExec(1.0, 12.0, 0.5)
+        p = np.array([1.0, 2.0, 4.0])
+        np.testing.assert_allclose(m(p), 1.0 + 12.0 / p + 0.5 * p)
+
+    def test_invalid_processor_count_is_inf(self):
+        m = PolynomialExec(1.0, 12.0, 0.5)
+        assert math.isinf(m(0))
+        out = m(np.array([0.0, 1.0]))
+        assert math.isinf(out[0]) and math.isfinite(out[1])
+
+    def test_pure_parallel_halves(self):
+        m = PolynomialExec(0.0, 10.0, 0.0)
+        assert m(2) == pytest.approx(m(1) / 2)
+
+    def test_overhead_term_grows(self):
+        m = PolynomialExec(0.0, 0.0, 1.0)
+        assert m(8) > m(4)
+
+
+class TestPolynomialEComm:
+    def test_matches_formula(self):
+        m = PolynomialEComm(1.0, 2.0, 3.0, 0.1, 0.2)
+        assert m(2, 4) == pytest.approx(1.0 + 2.0 / 2 + 3.0 / 4 + 0.1 * 2 + 0.2 * 4)
+
+    def test_asymmetric(self):
+        m = PolynomialEComm(0.0, 5.0, 1.0, 0.0, 0.0)
+        assert m(1, 10) != m(10, 1)
+
+    def test_grid_broadcast(self):
+        m = PolynomialEComm(1.0, 2.0, 3.0, 0.0, 0.0)
+        ps = np.array([1.0, 2.0])[:, None]
+        pr = np.array([1.0, 4.0])[None, :]
+        out = m(ps, pr)
+        assert out.shape == (2, 2)
+        assert out[1, 1] == pytest.approx(1.0 + 1.0 + 0.75)
+
+    def test_invalid_either_side_is_inf(self):
+        m = PolynomialEComm(1.0, 2.0, 3.0, 0.0, 0.0)
+        assert math.isinf(m(0, 4))
+        assert math.isinf(m(4, 0))
+
+
+class TestTabulatedUnary:
+    def test_exact_at_samples(self):
+        m = TabulatedUnary({1: 10.0, 2: 6.0, 4: 4.0})
+        assert m(1) == pytest.approx(10.0)
+        assert m(2) == pytest.approx(6.0)
+        assert m(4) == pytest.approx(4.0)
+
+    def test_interpolates_in_inverse_p(self):
+        # Perfectly parallel data should interpolate exactly in 1/p space.
+        m = TabulatedUnary({1: 12.0, 4: 3.0})
+        assert m(2) == pytest.approx(6.0)
+        assert m(3) == pytest.approx(4.0)
+
+    def test_clamps_outside_range(self):
+        m = TabulatedUnary({2: 6.0, 4: 4.0})
+        assert m(1) == pytest.approx(6.0)
+        assert m(64) == pytest.approx(4.0)
+
+    def test_rejects_empty_and_bad_points(self):
+        with pytest.raises(ValueError):
+            TabulatedUnary({})
+        with pytest.raises(ValueError):
+            TabulatedUnary({0: 1.0})
+
+
+class TestTabulatedBinary:
+    def test_exact_at_samples(self):
+        m = TabulatedBinary({(1, 1): 4.0, (1, 2): 3.0, (2, 1): 2.0, (2, 2): 1.0})
+        assert m(1, 1) == pytest.approx(4.0)
+        assert m(2, 2) == pytest.approx(1.0)
+
+    def test_interpolates_between_grid_lines(self):
+        m = TabulatedBinary({(1, 1): 8.0, (1, 4): 2.0, (4, 1): 8.0, (4, 4): 2.0})
+        # Constant along ps; 1/pr interpolation along pr.
+        assert m(2, 2) == pytest.approx(4.0)
+
+    def test_single_point_grid(self):
+        m = TabulatedBinary({(2, 2): 5.0})
+        assert m(1, 8) == pytest.approx(5.0)
+
+    def test_rejects_ragged_grid(self):
+        with pytest.raises(ValueError):
+            TabulatedBinary({(1, 1): 1.0, (2, 2): 2.0})
+
+
+class TestCompositeModels:
+    def test_zero_models(self):
+        assert ZeroUnary()(5) == 0.0
+        assert ZeroBinary()(3, 4) == 0.0
+
+    def test_sum_unary(self):
+        s = SumUnary([PolynomialExec(1.0, 0.0, 0.0), PolynomialExec(0.0, 8.0, 0.0)])
+        assert s(4) == pytest.approx(1.0 + 2.0)
+
+    def test_scaled_unary(self):
+        s = ScaledUnary(PolynomialExec(2.0, 0.0, 0.0), 3.0)
+        assert s(1) == pytest.approx(6.0)
+
+
+class TestSerialisation:
+    @pytest.mark.parametrize(
+        "model",
+        [
+            PolynomialExec(1.0, 2.0, 3.0),
+            PolynomialIComm(0.5, 1.5, 2.5),
+            PolynomialEComm(1.0, 2.0, 3.0, 4.0, 5.0),
+            TabulatedUnary({1: 3.0, 2: 2.0}),
+            TabulatedBinary({(1, 1): 1.0, (1, 2): 2.0, (2, 1): 3.0, (2, 2): 4.0}),
+            ZeroUnary(),
+            ZeroBinary(),
+            SumUnary([PolynomialExec(1.0, 2.0, 0.0), ZeroUnary()]),
+            ScaledUnary(PolynomialExec(1.0, 2.0, 0.0), 0.5),
+        ],
+    )
+    def test_round_trip(self, model):
+        rebuilt = model_from_dict(model.to_dict())
+        if hasattr(model, "evaluate") and isinstance(model, (PolynomialEComm, TabulatedBinary, ZeroBinary)):
+            for a in (1, 2, 7):
+                for b in (1, 3, 9):
+                    assert rebuilt(a, b) == pytest.approx(model(a, b))
+        else:
+            for p in (1, 2, 5, 16):
+                assert rebuilt(p) == pytest.approx(model(p))
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ValueError):
+            model_from_dict({"kind": "nope"})

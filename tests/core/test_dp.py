@@ -1,0 +1,141 @@
+"""Tests for the dynamic-programming assignment (paper §3.1–§3.2).
+
+The load-bearing guarantee — DP result equals the brute-force optimum — is
+checked on a battery of random chains with and without replication, memory
+minimums, and communication of varying weight.
+"""
+
+import pytest
+
+from repro.core import (
+    InfeasibleError,
+    PolynomialExec,
+    Task,
+    TaskChain,
+    brute_force_assignment,
+    build_module_chain,
+    optimal_assignment,
+    singleton_clustering,
+    throughput_of_totals,
+)
+from tests.conftest import make_random_chain, make_three_task_chain
+
+
+def _mchain(chain, mem=float("inf")):
+    return build_module_chain(chain, singleton_clustering(len(chain)), mem)
+
+
+class TestAgainstBruteForce:
+    @pytest.mark.parametrize("seed", range(12))
+    def test_no_replication(self, seed):
+        chain = make_random_chain(3, seed=seed)
+        mc = _mchain(chain)
+        dp = optimal_assignment(mc, 12, replication=False)
+        bf = brute_force_assignment(mc, 12, replication=False)
+        assert dp.throughput == pytest.approx(bf.throughput)
+
+    @pytest.mark.parametrize("seed", range(12))
+    def test_with_replication(self, seed):
+        chain = make_random_chain(3, seed=100 + seed)
+        mc = _mchain(chain)
+        dp = optimal_assignment(mc, 12, replication=True)
+        bf = brute_force_assignment(mc, 12, replication=True)
+        assert dp.throughput == pytest.approx(bf.throughput)
+
+    @pytest.mark.parametrize("seed", range(6))
+    def test_with_memory_minimums(self, seed):
+        chain = make_random_chain(3, seed=200 + seed, with_memory=True)
+        mc = _mchain(chain, mem=1.0)
+        dp = optimal_assignment(mc, 14, replication=True)
+        bf = brute_force_assignment(mc, 14, replication=True)
+        assert dp.throughput == pytest.approx(bf.throughput)
+
+    @pytest.mark.parametrize("seed", range(6))
+    def test_heavy_communication(self, seed):
+        chain = make_random_chain(4, seed=300 + seed, comm_scale=10.0)
+        mc = _mchain(chain)
+        dp = optimal_assignment(mc, 10, replication=False)
+        bf = brute_force_assignment(mc, 10, replication=False)
+        assert dp.throughput == pytest.approx(bf.throughput)
+
+    def test_longer_chain(self):
+        chain = make_random_chain(5, seed=42)
+        mc = _mchain(chain)
+        dp = optimal_assignment(mc, 9, replication=True)
+        bf = brute_force_assignment(mc, 9, replication=True)
+        assert dp.throughput == pytest.approx(bf.throughput)
+
+
+class TestDPInternals:
+    def test_reported_value_matches_reevaluation(self):
+        chain = make_three_task_chain()
+        mc = _mchain(chain)
+        dp = optimal_assignment(mc, 16)
+        tp, eff = throughput_of_totals(mc, dp.totals)
+        assert dp.throughput == pytest.approx(tp)
+        assert dp.bottleneck_response == pytest.approx(max(eff))
+
+    def test_totals_within_budget(self):
+        chain = make_random_chain(4, seed=1)
+        mc = _mchain(chain)
+        for P in (4, 7, 16):
+            dp = optimal_assignment(mc, P)
+            assert sum(dp.totals) <= P
+            assert all(t >= 1 for t in dp.totals)
+
+    def test_may_leave_processors_idle(self):
+        """With strong per-processor overhead the optimum can use < P."""
+        tasks = [
+            Task("a", PolynomialExec(0.0, 1.0, 1.0)),
+            Task("b", PolynomialExec(0.0, 1.0, 1.0), replicable=False),
+        ]
+        chain = TaskChain(tasks)
+        mc = _mchain(chain)
+        dp = optimal_assignment(mc, 20, replication=False)
+        assert sum(dp.totals) < 20
+
+    def test_single_module_chain(self):
+        chain = TaskChain([Task("solo", PolynomialExec(0.1, 12.0, 0.0))])
+        mc = _mchain(chain)
+        dp = optimal_assignment(mc, 8)
+        assert dp.totals == [8]  # fully replicated: 8 instances of 1
+        assert dp.throughput == pytest.approx(8 / (0.1 + 12.0))
+
+    def test_monotone_in_processors(self):
+        """More processors never lower the optimal throughput."""
+        chain = make_random_chain(3, seed=9)
+        mc = _mchain(chain)
+        last = 0.0
+        for P in range(3, 24, 3):
+            tp = optimal_assignment(mc, P).throughput
+            assert tp >= last - 1e-12
+            last = tp
+
+    def test_infeasible_machine(self):
+        tasks = [
+            Task("a", PolynomialExec(0.0, 1.0, 0.0), min_procs=4),
+            Task("b", PolynomialExec(0.0, 1.0, 0.0), min_procs=4),
+        ]
+        chain = TaskChain(tasks)
+        with pytest.raises(InfeasibleError):
+            optimal_assignment(_mchain(chain), 6)
+
+    def test_rejects_zero_processors(self):
+        chain = make_random_chain(2, seed=0)
+        with pytest.raises(InfeasibleError):
+            optimal_assignment(_mchain(chain), 0)
+
+
+class TestReplicationBenefit:
+    def test_replication_helps_scalable_pipeline(self):
+        """A replicable chain should beat its non-replicated counterpart
+        when tasks have substantial fixed (non-parallelisable) cost."""
+        tasks = [
+            Task("a", PolynomialExec(1.0, 4.0, 0.0)),
+            Task("b", PolynomialExec(1.0, 4.0, 0.0)),
+        ]
+        chain = TaskChain(tasks)
+        mc = _mchain(chain)
+        with_rep = optimal_assignment(mc, 16, replication=True)
+        without = optimal_assignment(mc, 16, replication=False)
+        assert with_rep.throughput > without.throughput

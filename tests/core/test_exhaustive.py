@@ -1,0 +1,62 @@
+"""Tests for the brute-force oracles themselves."""
+
+import math
+
+import pytest
+
+from repro.core import (
+    InfeasibleError,
+    PolynomialExec,
+    Task,
+    TaskChain,
+    brute_force_assignment,
+    brute_force_mapping,
+    build_module_chain,
+    enumerate_allocations,
+    singleton_clustering,
+)
+from tests.conftest import make_random_chain
+
+
+class TestEnumerateAllocations:
+    def test_counts_compositions(self):
+        # allocations of <= 5 processors to 2 tasks with min 1 each:
+        # pairs (a,b), a,b>=1, a+b<=5 -> 1+2+3+4 = 10
+        allocs = list(enumerate_allocations([1, 1], 5))
+        assert len(allocs) == 10
+        assert all(sum(a) <= 5 for a in allocs)
+        assert len({tuple(a) for a in allocs}) == 10
+
+    def test_respects_minimums(self):
+        allocs = list(enumerate_allocations([2, 3], 6))
+        assert all(a[0] >= 2 and a[1] >= 3 for a in allocs)
+        assert len(allocs) == 3  # (2,3) (2,4) (3,3)
+
+    def test_empty_when_infeasible(self):
+        assert list(enumerate_allocations([4, 4], 6)) == []
+
+
+class TestBruteForce:
+    def test_reports_evaluation_count(self):
+        chain = make_random_chain(2, seed=0)
+        mc = build_module_chain(chain, singleton_clustering(2))
+        res = brute_force_assignment(mc, 5)
+        assert res.evaluated == 10
+
+    def test_infeasible_raises(self):
+        tasks = [Task("a", PolynomialExec(0.0, 1.0, 0.0), min_procs=9)]
+        chain = TaskChain(tasks)
+        mc = build_module_chain(chain, singleton_clustering(1))
+        with pytest.raises(InfeasibleError):
+            brute_force_assignment(mc, 8)
+
+    def test_mapping_oracle_covers_all_clusterings(self):
+        chain = make_random_chain(3, seed=1)
+        res = brute_force_mapping(chain, 6)
+        assert res.throughput > 0
+        assert math.isfinite(res.throughput)
+        # The winning mapping must itself evaluate to the reported value.
+        from repro.core import evaluate_mapping
+
+        perf = evaluate_mapping(chain, res.mapping)
+        assert perf.throughput == pytest.approx(res.throughput)

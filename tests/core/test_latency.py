@@ -1,0 +1,88 @@
+"""Tests for the latency extension (Vondran [14])."""
+
+import pytest
+
+from repro.core import (
+    build_module_chain,
+    optimal_assignment,
+    optimal_latency_assignment,
+    singleton_clustering,
+    throughput_latency_frontier,
+)
+from tests.conftest import make_random_chain
+
+
+def _mchain(chain):
+    return build_module_chain(chain, singleton_clustering(len(chain)))
+
+
+class TestLatencyDP:
+    @pytest.mark.parametrize("seed", range(8))
+    def test_matches_exhaustive_latency(self, seed):
+        """The min-sum DP must find the latency optimum (oracle check)."""
+        from repro.core import enumerate_allocations, evaluate_module_chain
+
+        chain = make_random_chain(3, seed=seed)
+        mc = _mchain(chain)
+        P = 10
+        res = optimal_latency_assignment(mc, P)
+        best = min(
+            evaluate_module_chain(mc, [(p, 1) for p in a]).latency
+            for a in enumerate_allocations([1] * 3, P)
+        )
+        assert res.latency == pytest.approx(best)
+
+    def test_latency_no_worse_than_throughput_optimum(self):
+        for seed in range(6):
+            chain = make_random_chain(3, seed=seed)
+            mc = _mchain(chain)
+            lat_opt = optimal_latency_assignment(mc, 12)
+            tp_opt = optimal_assignment(mc, 12, replication=False)
+            assert lat_opt.latency <= tp_opt.performance.latency + 1e-12
+
+    def test_response_constraint_is_enforced(self):
+        chain = make_random_chain(3, seed=3)
+        mc = _mchain(chain)
+        unconstrained = optimal_latency_assignment(mc, 12)
+        # Pick a target between the best achievable response (throughput
+        # optimum) and the latency optimum's response, so it binds but stays
+        # feasible without replication.
+        best_resp = 1.0 / optimal_assignment(mc, 12, replication=False).throughput
+        lat_resp = max(unconstrained.performance.effective_responses)
+        assert best_resp < lat_resp
+        target = 0.5 * (best_resp + lat_resp)
+        res = optimal_latency_assignment(mc, 12, max_response=target)
+        assert max(res.performance.effective_responses) <= target * (1 + 1e-9)
+        assert res.latency >= unconstrained.latency - 1e-12
+
+    def test_infeasible_response_target(self):
+        from repro.core import InfeasibleError
+
+        chain = make_random_chain(3, seed=3)
+        mc = _mchain(chain)
+        with pytest.raises(InfeasibleError):
+            optimal_latency_assignment(mc, 12, max_response=1e-9)
+
+
+class TestFrontier:
+    def test_frontier_is_pareto(self):
+        chain = make_random_chain(3, seed=7)
+        mc = _mchain(chain)
+        pts = throughput_latency_frontier(mc, 12, points=8)
+        assert len(pts) >= 1
+        for (tp1, l1), (tp2, l2) in zip(pts, pts[1:]):
+            assert tp2 > tp1       # increasing throughput
+            assert l2 >= l1 - 1e-12  # trading latency for it
+
+    def test_frontier_ends_reach_both_optima(self):
+        chain = make_random_chain(3, seed=9)
+        mc = _mchain(chain)
+        pts = throughput_latency_frontier(mc, 12, points=10)
+        tp_opt = optimal_assignment(mc, 12).throughput
+        lat_opt = optimal_latency_assignment(mc, 12).latency
+        # The fast end reaches at least the §3.2 throughput optimum.  It may
+        # exceed it slightly: forcing *maximal* replication wastes processors
+        # to fragmentation when p_min does not divide the allocation, and the
+        # frontier's no-replication sweep is free of that waste.
+        assert pts[-1][0] >= tp_opt * (1 - 1e-9)
+        assert pts[0][1] == pytest.approx(lat_opt, rel=1e-6)

@@ -1,0 +1,112 @@
+"""Unit tests for mappings, modules, and clustering enumeration."""
+
+import pytest
+
+from repro.core import (
+    InvalidMappingError,
+    Mapping,
+    ModuleSpec,
+    PolynomialExec,
+    Task,
+    TaskChain,
+    all_clusterings,
+    clustering_from_boundaries,
+    singleton_clustering,
+)
+
+
+def _chain(k, nonreplicable=()):
+    tasks = [
+        Task(f"t{i}", PolynomialExec(0.1, 5.0, 0.0), replicable=i not in nonreplicable)
+        for i in range(k)
+    ]
+    return TaskChain(tasks)
+
+
+class TestModuleSpec:
+    def test_properties(self):
+        m = ModuleSpec(1, 3, procs=4, replicas=2)
+        assert m.ntasks == 3
+        assert m.total_procs == 8
+
+    def test_rejects_bad_span(self):
+        with pytest.raises(InvalidMappingError):
+            ModuleSpec(2, 1, procs=1)
+
+    def test_rejects_bad_procs(self):
+        with pytest.raises(InvalidMappingError):
+            ModuleSpec(0, 0, procs=0)
+        with pytest.raises(InvalidMappingError):
+            ModuleSpec(0, 0, procs=1, replicas=0)
+
+    def test_round_trip(self):
+        m = ModuleSpec(0, 2, 3, 4)
+        assert ModuleSpec.from_dict(m.to_dict()) == m
+
+
+class TestMapping:
+    def test_must_tile_chain(self):
+        with pytest.raises(InvalidMappingError):
+            Mapping([ModuleSpec(0, 1, 1), ModuleSpec(3, 4, 1)])  # gap at 2
+        with pytest.raises(InvalidMappingError):
+            Mapping([ModuleSpec(0, 2, 1), ModuleSpec(2, 3, 1)])  # overlap at 2
+        with pytest.raises(InvalidMappingError):
+            Mapping([ModuleSpec(1, 2, 1)])  # does not start at 0
+
+    def test_orders_modules(self):
+        m = Mapping([ModuleSpec(2, 3, 1), ModuleSpec(0, 1, 1)])
+        assert m.clustering() == ((0, 1), (2, 3))
+
+    def test_totals_and_lookup(self):
+        m = Mapping([ModuleSpec(0, 0, 3, 8), ModuleSpec(1, 2, 4, 10)])
+        assert m.total_procs == 3 * 8 + 4 * 10
+        assert m.ntasks == 3
+        assert m.module_of_task(0) == 0
+        assert m.module_of_task(2) == 1
+
+    def test_validate_task_count(self):
+        m = Mapping([ModuleSpec(0, 1, 2)])
+        with pytest.raises(InvalidMappingError):
+            m.validate(_chain(3))
+
+    def test_validate_replication_legality(self):
+        chain = _chain(2, nonreplicable={1})
+        bad = Mapping([ModuleSpec(0, 0, 1), ModuleSpec(1, 1, 1, replicas=2)])
+        with pytest.raises(InvalidMappingError):
+            bad.validate(chain)
+        ok = Mapping([ModuleSpec(0, 0, 1, replicas=2), ModuleSpec(1, 1, 1)])
+        ok.validate(chain)
+
+    def test_validate_machine_size(self):
+        m = Mapping([ModuleSpec(0, 1, 8, 2)])
+        with pytest.raises(InvalidMappingError):
+            m.validate(_chain(2), total_procs=15)
+        m.validate(_chain(2), total_procs=16)
+
+    def test_round_trip(self):
+        m = Mapping([ModuleSpec(0, 0, 3, 8), ModuleSpec(1, 2, 4, 10)])
+        assert Mapping.from_dict(m.to_dict()) == m
+
+
+class TestClusterings:
+    def test_singleton(self):
+        assert singleton_clustering(3) == ((0, 0), (1, 1), (2, 2))
+
+    def test_from_boundaries(self):
+        assert clustering_from_boundaries(4, [1]) == ((0, 1), (2, 3))
+        assert clustering_from_boundaries(4, []) == ((0, 3),)
+        with pytest.raises(InvalidMappingError):
+            clustering_from_boundaries(4, [3])
+
+    def test_enumeration_count(self):
+        for k in (1, 2, 3, 5):
+            cls = list(all_clusterings(k))
+            assert len(cls) == 2 ** (k - 1)
+            assert len(set(cls)) == len(cls)
+
+    def test_enumeration_covers_chain(self):
+        for clustering in all_clusterings(4):
+            assert clustering[0][0] == 0
+            assert clustering[-1][1] == 3
+            for (a0, a1), (b0, b1) in zip(clustering, clustering[1:]):
+                assert b0 == a1 + 1

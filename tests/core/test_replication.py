@@ -1,0 +1,88 @@
+"""Unit tests for the §3.2 replication rule."""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    PolynomialExec,
+    check_no_superlinear,
+    effective_tables,
+    split_replicas,
+)
+
+
+class TestSplitReplicas:
+    def test_below_minimum_infeasible(self):
+        assert split_replicas(2, 3, True) == (0, 0)
+
+    def test_non_replicable_single_instance(self):
+        assert split_replicas(10, 3, False) == (1, 10)
+
+    def test_maximal_replication(self):
+        # 10 processors, minimum 3 -> 3 instances of 3 (one processor idle).
+        assert split_replicas(10, 3, True) == (3, 3)
+
+    def test_exact_division(self):
+        assert split_replicas(12, 3, True) == (4, 3)
+
+    def test_min_one(self):
+        # p_min = 1 -> every processor its own instance.
+        assert split_replicas(7, 1, True) == (7, 1)
+
+    @pytest.mark.parametrize("total", range(1, 40))
+    @pytest.mark.parametrize("p_min", [1, 2, 3, 5])
+    def test_invariants(self, total, p_min):
+        r, s = split_replicas(total, p_min, True)
+        if total < p_min:
+            assert (r, s) == (0, 0)
+        else:
+            assert r >= 1 and s >= p_min
+            assert r * s <= total          # never over-commits
+            assert r == total // p_min     # maximal replication
+            assert s == total // r
+
+
+class TestEffectiveTables:
+    def test_matches_scalar_rule(self):
+        r, s = effective_tables(20, 3, True)
+        for p in range(21):
+            assert (r[p], s[p]) == split_replicas(p, 3, True)
+
+    def test_non_replicable(self):
+        r, s = effective_tables(10, 2, False)
+        assert r[1] == 0 and s[1] == 0
+        assert all(r[p] == 1 and s[p] == p for p in range(2, 11))
+
+    def test_zero_total_always_infeasible(self):
+        r, s = effective_tables(5, 1, True)
+        assert r[0] == 0 and s[0] == 0
+
+
+class TestNoSuperlinear:
+    def test_well_behaved_model_passes(self):
+        assert check_no_superlinear(PolynomialExec(0.5, 10.0, 0.01), 64)
+
+    def test_superlinear_model_fails(self):
+        # Cost drops by 4x when doubling processors: superlinear.
+        from repro.core import LambdaUnary
+
+        bad = LambdaUnary(lambda p: 100.0 / (p * p), "superlinear")
+        assert not check_no_superlinear(bad, 16)
+
+    def test_replication_never_hurts_when_wellbehaved(self):
+        """Under the no-superlinear assumption, maximal replication gives an
+        effective response at least as good as fewer instances (§3.2).
+
+        The claim is exact when the allocation divides evenly into
+        instances ("the processors divided equally among the instances");
+        with fragmentation a wasted processor can make it slightly
+        approximate, so only multiples of p_min are asserted here.
+        """
+        cost = PolynomialExec(0.2, 20.0, 0.005)
+        p_min = 3
+        for m in range(1, 14):
+            total = m * p_min
+            r_max, s_max = split_replicas(total, p_min, True)
+            assert r_max == m and s_max == p_min
+            best = min(cost(total // r) / r for r in range(1, m + 1))
+            assert cost(s_max) / r_max <= best * (1 + 1e-9)

@@ -1,0 +1,87 @@
+"""Tests for processor sizing (min processors for a throughput target)."""
+
+import pytest
+
+from repro.core import (
+    InfeasibleError,
+    build_module_chain,
+    enumerate_allocations,
+    min_processors_for_throughput,
+    optimal_assignment,
+    singleton_clustering,
+    sizing_curve,
+    throughput_of_totals,
+)
+from tests.conftest import make_random_chain
+
+
+def _mchain(chain):
+    return build_module_chain(chain, singleton_clustering(len(chain)))
+
+
+class TestMinProcessors:
+    @pytest.mark.parametrize("seed", range(8))
+    def test_minimality_against_brute_force(self, seed):
+        chain = make_random_chain(3, seed=seed)
+        mc = _mchain(chain)
+        opt = optimal_assignment(mc, 18)
+        target = opt.throughput * 0.6
+        res = min_processors_for_throughput(mc, target, 18)
+        assert res.throughput >= target * (1 - 1e-9)
+        best = min(
+            (
+                sum(a)
+                for a in enumerate_allocations([1] * 3, 18)
+                if throughput_of_totals(mc, a)[0] >= target * (1 - 1e-9)
+            ),
+            default=None,
+        )
+        assert best == res.processors
+
+    def test_target_at_machine_optimum(self):
+        chain = make_random_chain(3, seed=3)
+        mc = _mchain(chain)
+        opt = optimal_assignment(mc, 16)
+        res = min_processors_for_throughput(
+            mc, opt.throughput * (1 - 1e-9), 16
+        )
+        assert res.processors <= 16
+        assert res.throughput >= opt.throughput * (1 - 1e-6)
+
+    def test_unreachable_target_raises(self):
+        chain = make_random_chain(3, seed=4)
+        mc = _mchain(chain)
+        opt = optimal_assignment(mc, 12)
+        with pytest.raises(InfeasibleError):
+            min_processors_for_throughput(mc, opt.throughput * 2, 12)
+
+    def test_bad_target_raises(self):
+        chain = make_random_chain(2, seed=0)
+        with pytest.raises(InfeasibleError):
+            min_processors_for_throughput(_mchain(chain), -1.0, 8)
+
+    def test_replication_disabled(self):
+        chain = make_random_chain(3, seed=5, replicable_prob=1.0)
+        mc = _mchain(chain)
+        with_rep = min_processors_for_throughput(mc, 0.2, 32, replication=True)
+        without = min_processors_for_throughput(mc, 0.2, 32, replication=False)
+        assert with_rep.processors <= without.processors
+
+
+class TestSizingCurve:
+    def test_curve_is_monotone(self):
+        chain = make_random_chain(3, seed=7)
+        mc = _mchain(chain)
+        curve = sizing_curve(mc, 20, points=7)
+        assert len(curve) >= 3
+        procs = [r.processors for r in curve]
+        targets = [r.target_throughput for r in curve]
+        assert targets == sorted(targets)
+        assert procs == sorted(procs)
+
+    def test_each_point_meets_its_target(self):
+        chain = make_random_chain(3, seed=8)
+        mc = _mchain(chain)
+        for r in sizing_curve(mc, 16, points=5):
+            assert r.throughput >= r.target_throughput * (1 - 1e-6)
+            assert sum(r.totals) == r.processors

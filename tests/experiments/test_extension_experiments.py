@@ -1,0 +1,36 @@
+"""Tests for the extension experiments (sizing, interference,
+linearisation, placement) — fast configurations; full scale lives in
+benchmarks/."""
+
+import pytest
+
+from repro.experiments import interference, linearization, sizing_study
+from repro.machine import iwarp64_systolic
+from repro.workloads import radar
+
+
+class TestSizingStudy:
+    def test_single_workload_curve(self):
+        rows = sizing_study.run([radar(iwarp64_systolic())], points=5)
+        r = rows[0]
+        procs = [res.processors for res in r.curve]
+        assert procs == sorted(procs)
+        assert r.procs_for_half_peak >= 1
+        assert "sizing" in sizing_study.render(rows).lower()
+
+
+class TestInterference:
+    def test_error_grows_with_level(self):
+        points = interference.run(levels=(0.0, 0.1), n_datasets=200)
+        assert points[0].error == pytest.approx(0.0, abs=1e-6)
+        assert abs(points[1].error) > abs(points[0].error)
+        assert "interference" in interference.render(points).lower()
+
+
+class TestLinearization:
+    def test_predictions_confirmed_and_linear_holds(self):
+        res = linearization.run(total_procs=24, n_datasets=120)
+        assert res.linear_measured == pytest.approx(res.linear_predicted, rel=0.03)
+        assert res.fj_measured == pytest.approx(res.fj_predicted, rel=0.03)
+        assert res.linear_measured >= res.fj_measured * 0.9
+        assert "Linearising" in linearization.render(res)

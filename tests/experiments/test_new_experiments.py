@@ -1,0 +1,70 @@
+"""Tests for the extension experiments (theorems, frontier, machine /
+memory / training-budget studies) — cheap configurations."""
+
+import pytest
+
+from repro.experiments import (
+    frontier,
+    machines_study,
+    memory_study,
+    theorems,
+    training_budget,
+)
+from repro.machine import iwarp64_message
+from repro.workloads import fft_hist
+
+
+class TestTheorems:
+    def test_theorem1_holds(self):
+        rep = theorems.run_theorem1(cases=8)
+        assert rep.optimal_hits == rep.cases
+        assert rep.worst_gap == 0.0
+
+    def test_theorem2_bound_holds(self):
+        rep = theorems.run_theorem2(cases=8)
+        assert rep.max_overallocation <= 2
+        assert rep.worst_gap < 0.05
+
+    def test_render(self):
+        art = theorems.render([theorems.run_theorem1(cases=3)])
+        assert "Theorem 1" in art
+
+
+class TestFrontier:
+    def test_single_workload_frontier(self):
+        wl = fft_hist(256, iwarp64_message())
+        rows = frontier.run([wl], points=6)
+        r = rows[0]
+        assert r.tp_optimal >= r.lat_optimal_tp * (1 - 1e-9)
+        assert r.tp_optimal_latency >= r.lat_optimal_latency * (1 - 1e-9)
+        assert r.measured_fast_tp == pytest.approx(r.tp_optimal, rel=0.1)
+        assert "frontier" in frontier.render(rows).lower()
+
+
+class TestMachinesStudy:
+    def test_all_presets_covered(self):
+        rows = machines_study.run()
+        assert len(rows) == 5
+        names = {r.machine.name for r in rows}
+        assert "iwarp64/message" in names
+        for r in rows:
+            assert r.ratio >= 1.0 - 1e-9
+        assert "Fx target machines" in machines_study.render(rows)
+
+
+class TestMemoryStudy:
+    def test_replication_grows_with_memory(self):
+        points = memory_study.run(sweep=(0.5, 2.0, 8.0))
+        reps = [p.max_replication for p in points]
+        assert reps == sorted(reps)
+        assert points[-1].max_replication > points[0].max_replication
+        assert "memory" in memory_study.render(points)
+
+
+class TestTrainingBudget:
+    def test_all_budgets_within_paper_bound(self):
+        points = training_budget.run()
+        assert len(points) >= 3
+        for p in points:
+            assert p.mean_abs_error < 0.10
+        assert "training budget" in training_budget.render(points)

@@ -1,0 +1,123 @@
+"""Property-based tests for the fork/join extension."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core import Edge, PolynomialEComm, PolynomialExec, Task, singleton_clustering
+from repro.fjgraph import (
+    FJGraph,
+    ParallelSection,
+    brute_force_fj,
+    build_modules,
+    evaluate_fj,
+    greedy_fj_assignment,
+    greedy_fj_mapping,
+    simulate_fj,
+)
+
+
+@st.composite
+def fj_graphs(draw):
+    """Random small fork/join pipelines: head, 2-3 branches of 1-2 tasks,
+    tail of 1-2 tasks."""
+    counter = [0]
+
+    def task(work_lo=0.5, work_hi=8.0):
+        counter[0] += 1
+        return Task(
+            f"t{counter[0]}",
+            PolynomialExec(
+                draw(st.floats(0.0, 0.05)),
+                draw(st.floats(work_lo, work_hi)),
+                draw(st.floats(0.0, 0.01)),
+            ),
+            replicable=draw(st.booleans()),
+        )
+
+    def edge():
+        return Edge(
+            ecom=PolynomialEComm(
+                draw(st.floats(0.0, 0.05)),
+                draw(st.floats(0.0, 0.5)),
+                draw(st.floats(0.0, 0.5)),
+                draw(st.floats(0.0, 0.005)),
+                draw(st.floats(0.0, 0.005)),
+            )
+        )
+
+    n_branches = draw(st.integers(2, 3))
+    branches = []
+    branch_edges = []
+    for _ in range(n_branches):
+        blen = draw(st.integers(1, 2))
+        branches.append([task() for _ in range(blen)])
+        branch_edges.append([edge() for _ in range(blen - 1)])
+    section = ParallelSection(
+        branches=branches,
+        fork_edges=[edge() for _ in range(n_branches)],
+        join_edges=[edge() for _ in range(n_branches)],
+        branch_edges=branch_edges,
+    )
+    stages = [task(), section, task()]
+    if draw(st.booleans()):
+        stages += [edge(), task()]
+    return FJGraph(stages)
+
+
+@settings(max_examples=20, deadline=None)
+@given(g=fj_graphs(), P=st.integers(6, 12))
+def test_greedy_never_beats_oracle(g, P):
+    mods = build_modules(
+        g, [singleton_clustering(len(s.tasks)) for s in g.segments]
+    )
+    if sum(m.p_min for m in mods) > P:
+        return
+    _, tp_g = greedy_fj_assignment(mods, P)
+    _, tp_b = brute_force_fj(mods, P)
+    assert tp_g <= tp_b * (1 + 1e-9)
+    assert tp_g >= tp_b * 0.75
+
+
+@settings(max_examples=15, deadline=None)
+@given(g=fj_graphs(), P=st.integers(8, 16))
+def test_simulator_never_beats_analytic_bound(g, P):
+    """The analytic formula is a provable upper bound on the bufferless
+    rendezvous network's throughput; the simulator must respect it."""
+    mapping, bound = greedy_fj_mapping(g, P)
+    sim = simulate_fj(g, mapping, n_datasets=150)
+    assert sim.throughput <= bound * (1 + 1e-2)
+    assert sim.throughput > 0
+
+
+@settings(max_examples=15, deadline=None)
+@given(g=fj_graphs(), P=st.integers(8, 14))
+def test_mapping_is_structurally_valid(g, P):
+    mapping, _ = greedy_fj_mapping(g, P)
+    mapping.validate(g, total_procs=P)
+    # Non-replicable tasks never replicated.
+    for specs, seg in zip(mapping.modules, g.segments):
+        for m in specs:
+            if m.replicas > 1:
+                assert all(
+                    t.replicable for t in seg.tasks[m.start : m.stop + 1]
+                )
+
+
+@settings(max_examples=10, deadline=None)
+@given(g=fj_graphs())
+def test_evaluate_monotone_in_any_module(g):
+    """Giving a single module more processors (others fixed and feasible)
+    never *hurts* when its own response improves... weaker invariant:
+    evaluation stays finite and positive on feasible totals."""
+    mods = build_modules(
+        g, [singleton_clustering(len(s.tasks)) for s in g.segments]
+    )
+    totals = [m.p_min for m in mods]
+    perf = evaluate_fj(mods, totals)
+    assert perf.throughput > 0
+    assert all(r > 0 for r in perf.responses)
+    assert perf.bottleneck == perf.effective_responses.index(
+        max(perf.effective_responses)
+    )

@@ -1,0 +1,80 @@
+"""Property-based tests for the machine layer (hypothesis)."""
+
+from __future__ import annotations
+
+import math
+
+from hypothesis import given, settings, strategies as st
+
+from repro.machine import (
+    Rect,
+    is_rectangularizable,
+    pack_rectangles,
+    pathway_pairs,
+    rect_shapes,
+    route_xy,
+)
+
+cells = st.tuples(st.integers(0, 7), st.integers(0, 7))
+
+
+class TestRectShapesProperties:
+    @given(area=st.integers(1, 64), rows=st.integers(1, 8), cols=st.integers(1, 8))
+    def test_every_shape_is_valid(self, area, rows, cols):
+        for h, w in rect_shapes(area, rows, cols):
+            assert h * w == area
+            assert 1 <= h <= rows and 1 <= w <= cols
+
+    @given(area=st.integers(1, 64))
+    def test_feasibility_matches_enumeration(self, area):
+        assert is_rectangularizable(area, 8, 8) == bool(rect_shapes(area, 8, 8))
+
+
+class TestPackingProperties:
+    @settings(max_examples=40, deadline=None)
+    @given(
+        areas=st.lists(st.sampled_from([1, 2, 3, 4, 6, 8]), min_size=1, max_size=10)
+    )
+    def test_packing_is_sound(self, areas):
+        """Whenever the packer claims success, the placement is valid."""
+        res = pack_rectangles(areas, 8, 8)
+        if res.feasible:
+            seen = set()
+            for rect, area in zip(res.rects, areas):
+                assert rect.area == area
+                for cell in rect.cells():
+                    assert 0 <= cell[0] < 8 and 0 <= cell[1] < 8
+                    assert cell not in seen
+                    seen.add(cell)
+
+    @settings(max_examples=30, deadline=None)
+    @given(
+        areas=st.lists(st.sampled_from([1, 2, 4]), min_size=1, max_size=16)
+    )
+    def test_small_tiles_always_pack_when_they_fit(self, areas):
+        """Areas 1/2/4 can always tile any free space on an even grid, so
+        fitting by area implies packable."""
+        res = pack_rectangles(areas, 8, 8)
+        assert res.feasible == (sum(areas) <= 64)
+
+
+class TestRoutingProperties:
+    @given(src=cells, dst=cells)
+    def test_route_length_is_manhattan_distance(self, src, dst):
+        links = route_xy(src, dst)
+        manhattan = abs(src[0] - dst[0]) + abs(src[1] - dst[1])
+        assert len(links) == manhattan
+
+    @given(src=cells, dst=cells)
+    def test_links_are_unit_and_canonical(self, src, dst):
+        for (a, b) in route_xy(src, dst):
+            dr, dc = b[0] - a[0], b[1] - a[1]
+            assert (abs(dr), abs(dc)) in ((0, 1), (1, 0))
+            assert (dr, dc) in ((0, 1), (1, 0))  # canonical orientation
+
+    @given(r1=st.integers(1, 12), r2=st.integers(1, 12))
+    def test_pathway_pairs_cover_all_instances(self, r1, r2):
+        pairs = pathway_pairs(r1, r2)
+        assert len(pairs) == math.lcm(r1, r2)
+        assert {a for a, _ in pairs} == set(range(r1))
+        assert {b for _, b in pairs} == set(range(r2))

@@ -1,0 +1,69 @@
+"""Tests for systolic pathway accounting (§6.1)."""
+
+import pytest
+
+from repro.machine import Rect, link_loads, max_link_load, pathway_pairs, route_xy
+
+
+class TestPathwayPairs:
+    def test_equal_replication_pairs_diagonally(self):
+        assert pathway_pairs(3, 3) == [(0, 0), (1, 1), (2, 2)]
+
+    def test_coprime_replication_full_bipartite(self):
+        pairs = pathway_pairs(2, 3)
+        assert len(pairs) == 6  # lcm(2,3)
+
+    def test_divisible_replication(self):
+        pairs = pathway_pairs(2, 4)
+        assert len(pairs) == 4
+        # every receiver instance appears exactly once
+        assert sorted(b for _, b in pairs) == [0, 1, 2, 3]
+
+    def test_single_instances(self):
+        assert pathway_pairs(1, 1) == [(0, 0)]
+
+
+class TestRouting:
+    def test_xy_route_shape(self):
+        links = route_xy((0, 0), (2, 3))
+        assert len(links) == 5  # 3 horizontal + 2 vertical
+        # X first: the first hops stay in row 0.
+        assert links[0] == ((0, 0), (0, 1))
+        assert links[2] == ((0, 2), (0, 3))
+        assert links[3] == ((0, 3), (1, 3))
+
+    def test_route_to_self_is_empty(self):
+        assert route_xy((3, 3), (3, 3)) == []
+
+    def test_reverse_direction_links_canonical(self):
+        fwd = set(route_xy((0, 0), (0, 2)))
+        bwd = set(route_xy((0, 2), (0, 0)))
+        assert fwd == bwd  # links are undirected / canonicalised
+
+
+class TestLinkLoads:
+    def test_parallel_instances_do_not_collide(self):
+        """Neighbouring instance pairs placed side by side route over
+        disjoint links."""
+        sends = [Rect(0, 0, 1, 2), Rect(1, 0, 1, 2)]
+        recvs = [Rect(0, 2, 1, 2), Rect(1, 2, 1, 2)]
+        assert max_link_load([sends, recvs]) == 1
+
+    def test_crossing_pathways_share_a_link(self):
+        """Instances that must cross each other's rows load shared links."""
+        sends = [Rect(0, 0, 1, 1), Rect(1, 0, 1, 1)]
+        recvs = [Rect(1, 3, 1, 1), Rect(0, 3, 1, 1)]
+        # pairs (0,0) and (1,1): routes cross in the middle columns.
+        loads = link_loads([sends, recvs])
+        assert max(loads.values()) >= 1
+        assert sum(loads.values()) > 0
+
+    def test_single_module_no_pathways(self):
+        assert max_link_load([[Rect(0, 0, 2, 2)]]) == 0
+
+    def test_high_replication_contention(self):
+        """Many-to-one fan-in concentrates pathways near the receiver."""
+        sends = [Rect(r, 0, 1, 1) for r in range(4)]
+        recvs = [Rect(0, 3, 4, 1)]
+        loads = link_loads([sends, recvs])
+        assert max(loads.values()) >= 2

@@ -1,0 +1,55 @@
+"""Tests for grid topology and rectangular subarrays (§6.1)."""
+
+import pytest
+
+from repro.machine import Rect, is_rectangularizable, rect_shapes, rectangular_sizes
+
+
+class TestRectShapes:
+    def test_all_factorisations(self):
+        assert set(rect_shapes(12, 8, 8)) == {(2, 6), (3, 4), (4, 3), (6, 2)}
+
+    def test_prime_larger_than_grid_side(self):
+        # The paper's Table 1 case: 13 processors cannot be rectangular on 8x8.
+        assert rect_shapes(13, 8, 8) == ()
+        assert not is_rectangularizable(13, 8, 8)
+
+    def test_prime_within_grid_side(self):
+        assert (1, 7) in rect_shapes(7, 8, 8)
+
+    def test_full_grid(self):
+        assert (8, 8) in rect_shapes(64, 8, 8)
+
+    def test_respects_asymmetric_grid(self):
+        # On a 2x8 grid, 6 can be 1x6 or 2x3 but not 3x2 or 6x1.
+        assert set(rect_shapes(6, 2, 8)) == {(1, 6), (2, 3)}
+
+    def test_zero_and_negative(self):
+        assert rect_shapes(0, 8, 8) == ()
+        assert not is_rectangularizable(-3, 8, 8)
+
+
+class TestRectangularSizes:
+    def test_infeasible_sizes_on_8x8(self):
+        sizes = rectangular_sizes(8, 8)
+        missing = sorted(set(range(1, 65)) - set(sizes))
+        # Exactly the sizes with no factorisation fitting 8x8.
+        assert 13 in missing and 26 in missing
+        assert all(not is_rectangularizable(a, 8, 8) for a in missing)
+        assert all(is_rectangularizable(a, 8, 8) for a in sizes)
+
+
+class TestRect:
+    def test_cells_and_area(self):
+        r = Rect(1, 2, 2, 3)
+        assert r.area == 6
+        assert set(r.cells()) == {(1, 2), (1, 3), (1, 4), (2, 2), (2, 3), (2, 4)}
+
+    def test_overlap(self):
+        a = Rect(0, 0, 2, 2)
+        assert a.overlaps(Rect(1, 1, 2, 2))
+        assert not a.overlaps(Rect(2, 0, 1, 2))
+        assert not a.overlaps(Rect(0, 2, 2, 1))
+
+    def test_center(self):
+        assert Rect(0, 0, 2, 4).center() == (0.5, 1.5)

@@ -1,0 +1,75 @@
+"""Unit tests for the DES kernel."""
+
+import pytest
+
+from repro.core import SimulationError
+from repro.sim import Simulator
+
+
+class TestSimulator:
+    def test_runs_in_time_order(self):
+        sim = Simulator()
+        log = []
+        sim.schedule(2.0, lambda: log.append("b"))
+        sim.schedule(1.0, lambda: log.append("a"))
+        sim.schedule(3.0, lambda: log.append("c"))
+        end = sim.run()
+        assert log == ["a", "b", "c"]
+        assert end == pytest.approx(3.0)
+
+    def test_ties_break_by_insertion_order(self):
+        sim = Simulator()
+        log = []
+        for name in "abc":
+            sim.schedule(1.0, lambda n=name: log.append(n))
+        sim.run()
+        assert log == ["a", "b", "c"]
+
+    def test_nested_scheduling(self):
+        sim = Simulator()
+        log = []
+
+        def first():
+            log.append(sim.now)
+            sim.schedule(0.5, lambda: log.append(sim.now))
+
+        sim.schedule(1.0, first)
+        sim.run()
+        assert log == [pytest.approx(1.0), pytest.approx(1.5)]
+
+    def test_until_stops_early(self):
+        sim = Simulator()
+        log = []
+        sim.schedule(1.0, lambda: log.append(1))
+        sim.schedule(5.0, lambda: log.append(5))
+        sim.run(until=2.0)
+        assert log == [1]
+        assert sim.now == pytest.approx(2.0)
+        assert sim.pending == 1
+
+    def test_max_events(self):
+        sim = Simulator()
+        log = []
+        for i in range(5):
+            sim.schedule(float(i + 1), lambda i=i: log.append(i))
+        sim.run(max_events=3)
+        assert log == [0, 1, 2]
+
+    def test_schedule_at(self):
+        sim = Simulator()
+        hit = []
+        sim.schedule_at(4.0, lambda: hit.append(sim.now))
+        sim.run()
+        assert hit == [pytest.approx(4.0)]
+
+    def test_rejects_negative_delay(self):
+        sim = Simulator()
+        with pytest.raises(SimulationError):
+            sim.schedule(-1.0, lambda: None)
+
+    def test_counts_events(self):
+        sim = Simulator()
+        for _ in range(7):
+            sim.schedule(1.0, lambda: None)
+        sim.run()
+        assert sim.events_processed == 7

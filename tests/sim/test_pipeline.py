@@ -1,0 +1,132 @@
+"""Tests for the pipeline simulator: it must *measure* what the analytic
+model of §2 predicts when noise is off, and degrade gracefully with noise."""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    Edge,
+    Mapping,
+    ModuleSpec,
+    PolynomialEComm,
+    PolynomialExec,
+    SimulationError,
+    Task,
+    TaskChain,
+    evaluate_mapping,
+    optimal_mapping,
+)
+from repro.sim import NoiseModel, simulate
+from tests.conftest import make_random_chain, make_three_task_chain
+
+
+class TestAgainstAnalyticModel:
+    @pytest.mark.parametrize("seed", range(6))
+    def test_noiseless_throughput_matches_prediction(self, seed):
+        chain = make_random_chain(3, seed=seed)
+        res = optimal_mapping(chain, 12, method="exhaustive")
+        sim = simulate(chain, res.mapping, n_datasets=300)
+        assert sim.throughput == pytest.approx(res.throughput, rel=1e-6)
+
+    def test_replicated_pipeline_matches(self):
+        chain = make_random_chain(3, seed=2, replicable_prob=1.0)
+        mapping = Mapping([ModuleSpec(0, 0, 2, 3), ModuleSpec(1, 2, 5, 2)])
+        perf = evaluate_mapping(chain, mapping)
+        sim = simulate(chain, mapping, n_datasets=600)
+        assert sim.throughput == pytest.approx(perf.throughput, rel=1e-6)
+
+    def test_latency_at_least_sum_of_stages(self):
+        chain = make_three_task_chain()
+        res = optimal_mapping(chain, 12, method="exhaustive")
+        perf = evaluate_mapping(chain, res.mapping)
+        sim = simulate(chain, res.mapping, n_datasets=200)
+        # Pipelined latency includes queueing, so it can only exceed the
+        # unloaded end-to-end time.
+        assert sim.mean_latency >= perf.latency * (1 - 1e-9)
+
+    def test_single_task_single_proc(self):
+        chain = TaskChain([Task("only", PolynomialExec(0.5, 0.0, 0.0))])
+        mapping = Mapping([ModuleSpec(0, 0, 1)])
+        sim = simulate(chain, mapping, n_datasets=50)
+        assert sim.throughput == pytest.approx(2.0, rel=1e-9)
+        assert sim.mean_latency == pytest.approx(0.5, rel=1e-9)
+
+
+class TestNoise:
+    def test_noise_is_reproducible(self):
+        chain = make_three_task_chain()
+        res = optimal_mapping(chain, 12, method="exhaustive")
+        noise_a = NoiseModel(seed=7, jitter=0.05)
+        noise_b = NoiseModel(seed=7, jitter=0.05)
+        a = simulate(chain, res.mapping, n_datasets=100, noise=noise_a)
+        b = simulate(chain, res.mapping, n_datasets=100, noise=noise_b)
+        assert a.throughput == b.throughput
+        np.testing.assert_array_equal(a.completions, b.completions)
+
+    def test_different_seeds_differ(self):
+        chain = make_three_task_chain()
+        res = optimal_mapping(chain, 12, method="exhaustive")
+        a = simulate(chain, res.mapping, 100, noise=NoiseModel(seed=1, jitter=0.05))
+        b = simulate(chain, res.mapping, 100, noise=NoiseModel(seed=2, jitter=0.05))
+        assert a.throughput != b.throughput
+
+    def test_small_noise_small_deviation(self):
+        chain = make_three_task_chain()
+        res = optimal_mapping(chain, 12, method="exhaustive")
+        noisy = simulate(
+            chain, res.mapping, 400,
+            noise=NoiseModel(seed=3, jitter=0.03, comm_interference=0.02),
+        )
+        assert noisy.throughput == pytest.approx(res.throughput, rel=0.15)
+
+    def test_interference_slows_concurrent_transfers(self):
+        """A chain whose modules communicate concurrently must slow down
+        when interference is enabled, even with zero jitter."""
+        # Two replicated modules: the two instance streams run in lockstep,
+        # so their transfers overlap in time.
+        tasks = [Task(f"t{i}", PolynomialExec(0.0, 1.0, 0.0)) for i in range(2)]
+        edges = [Edge(ecom=PolynomialEComm(0.5, 0.0, 0.0, 0.0, 0.0))]
+        chain = TaskChain(tasks, edges)
+        mapping = Mapping([ModuleSpec(0, 0, 2, 2), ModuleSpec(1, 1, 2, 2)])
+        clean = simulate(chain, mapping, 200)
+        dirty = simulate(
+            chain, mapping, 200,
+            noise=NoiseModel(seed=0, jitter=0.0, comm_interference=0.2),
+        )
+        assert dirty.throughput < clean.throughput
+
+    def test_noise_model_validation(self):
+        with pytest.raises(ValueError):
+            NoiseModel(jitter=-0.1)
+
+
+class TestMeasurement:
+    def test_all_datasets_complete_in_order_per_instance(self):
+        chain = make_random_chain(3, seed=4, replicable_prob=1.0)
+        mapping = Mapping([ModuleSpec(0, 2, 3, 4)])
+        sim = simulate(chain, mapping, n_datasets=40)
+        comp = sim.completions
+        for c in range(4):  # each instance completes its own stream in order
+            mine = comp[c::4]
+            assert np.all(np.diff(mine) > 0)
+
+    def test_rejects_tiny_runs(self):
+        chain = make_three_task_chain()
+        mapping = Mapping([ModuleSpec(0, 2, 4)])
+        with pytest.raises(SimulationError):
+            simulate(chain, mapping, n_datasets=1)
+
+    def test_validates_mapping(self):
+        from repro.core import InvalidMappingError
+
+        chain = make_three_task_chain()
+        bad = Mapping([ModuleSpec(0, 1, 2)])  # covers 2 of 3 tasks
+        with pytest.raises(InvalidMappingError):
+            simulate(chain, bad, n_datasets=10)
+
+    def test_event_count_scales_with_work(self):
+        chain = make_three_task_chain()
+        mapping = Mapping([ModuleSpec(0, 2, 4)])
+        small = simulate(chain, mapping, n_datasets=10)
+        big = simulate(chain, mapping, n_datasets=40)
+        assert big.events_processed > small.events_processed

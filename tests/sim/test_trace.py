@@ -1,0 +1,79 @@
+"""Tests for trace collection and the Figure-2 Gantt rendering."""
+
+import pytest
+
+from repro.core import Mapping, ModuleSpec, optimal_mapping
+from repro.sim import TraceEvent, TraceLog, render_gantt, simulate
+from tests.conftest import make_three_task_chain
+
+
+@pytest.fixture
+def traced_run():
+    chain = make_three_task_chain()
+    mapping = Mapping([ModuleSpec(0, 0, 2, 2), ModuleSpec(1, 2, 4, 1)])
+    sim = simulate(chain, mapping, n_datasets=12, collect_trace=True)
+    return chain, mapping, sim
+
+
+class TestTraceContents:
+    def test_every_dataset_appears(self, traced_run):
+        _, _, sim = traced_run
+        datasets = {e.dataset for e in sim.trace}
+        assert datasets == set(range(12))
+
+    def test_task_slices_present_for_all_tasks(self, traced_run):
+        chain, _, sim = traced_run
+        labels = {e.label for e in sim.trace if e.kind == "task"}
+        assert labels == {t.name for t in chain.tasks}
+
+    def test_transfer_recorded_on_both_endpoints(self, traced_run):
+        _, _, sim = traced_run
+        sends = [e for e in sim.trace if e.kind == "send"]
+        recvs = [e for e in sim.trace if e.kind == "recv"]
+        assert len(sends) == len(recvs) == 12
+        # Matching intervals: every send has a recv with identical times.
+        recv_times = {(e.dataset, e.start, e.end) for e in recvs}
+        for s in sends:
+            assert (s.dataset, s.start, s.end) in recv_times
+
+    def test_instance_never_overlaps_itself(self, traced_run):
+        """A module instance is a sequential resource: its busy intervals
+        must not overlap (the central §2.1 occupancy assumption)."""
+        _, _, sim = traced_run
+        lanes = {}
+        for e in sim.trace:
+            lanes.setdefault((e.module, e.instance), []).append((e.start, e.end))
+        for intervals in lanes.values():
+            intervals.sort()
+            for (s1, e1), (s2, e2) in zip(intervals, intervals[1:]):
+                assert s2 >= e1 - 1e-12
+
+    def test_durations_match_cost_models(self, traced_run):
+        chain, mapping, sim = traced_run
+        # Noiseless run: every exec slice of task 'a' lasts exec_a(2).
+        expected = chain.tasks[0].exec_cost(2)
+        for d in sim.trace.task_durations("a"):
+            assert d == pytest.approx(expected)
+
+    def test_query_helpers(self, traced_run):
+        _, _, sim = traced_run
+        assert len(sim.trace.for_module(0)) > 0
+        assert len(sim.trace.for_kind("task")) > 0
+        assert len(sim.trace.comm_durations("a->b")) == 12
+        frac = sim.trace.busy_fraction(1, 0, sim.makespan)
+        assert 0 < frac <= 1.0
+
+
+class TestGantt:
+    def test_renders_all_lanes(self, traced_run):
+        _, _, sim = traced_run
+        art = render_gantt(sim.trace)
+        assert "m0.0" in art and "m0.1" in art and "m1.0" in art
+
+    def test_empty_trace(self):
+        assert render_gantt(TraceLog()) == "(empty trace)"
+
+    def test_dataset_filter(self, traced_run):
+        _, _, sim = traced_run
+        art = render_gantt(sim.trace, datasets=[0])
+        assert "0" in art and "5" not in art.split("\n", 1)[1]

@@ -1,0 +1,107 @@
+"""CLI smoke tests (fast paths only — tables/figures are covered by the
+benchmark harness)."""
+
+import pytest
+
+from repro.tools.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_map_defaults(self):
+        args = build_parser().parse_args(["map"])
+        assert args.workload == "fft-hist-256"
+        assert args.machine == "iwarp64-message"
+
+    def test_rejects_unknown_workload(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["map", "-w", "weather"])
+
+
+class TestCommands:
+    def test_machines(self, capsys):
+        assert main(["machines"]) == 0
+        out = capsys.readouterr().out
+        assert "iwarp64-message" in out
+        assert "8x8" in out
+
+    def test_map_runs_end_to_end(self, capsys):
+        assert main(["map", "-w", "fft-hist-256", "-m", "iwarp64-message"]) == 0
+        out = capsys.readouterr().out
+        assert "DP optimum" in out
+        assert "feasible" in out
+        assert "data sets/s" in out
+
+    def test_simulate_reports_measured(self, capsys):
+        assert main([
+            "simulate", "-w", "fft-hist-256", "-m", "iwarp64-message",
+            "--datasets", "60",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "predicted" in out and "measured" in out
+
+    def test_map_save_writes_plan(self, capsys, tmp_path):
+        plan_path = tmp_path / "plan.json"
+        assert main([
+            "map", "-w", "fft-hist-256", "-m", "iwarp64-message",
+            "--save", str(plan_path),
+        ]) == 0
+        assert plan_path.exists()
+        import json
+
+        payload = json.loads(plan_path.read_text())
+        assert payload["kind"] == "plan"
+        assert "mapping" in payload
+
+    def test_table1_renders(self, capsys):
+        assert main(["table1"]) == 0
+        out = capsys.readouterr().out
+        assert "Table 1" in out and "fft-hist-512" in out
+
+    def test_figures_only_flag(self, capsys):
+        assert main(["figures", "--only", "5"]) == 0
+        out = capsys.readouterr().out
+        assert "Figure 5" in out
+        assert "Figure 3" not in out
+
+    def test_size_command(self, capsys):
+        assert main([
+            "size", "-w", "radar", "-m", "iwarp64-systolic", "--target", "40",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "processors:" in out
+
+    def test_size_infeasible_target(self, capsys):
+        assert main([
+            "size", "-w", "radar", "-m", "iwarp64-systolic",
+            "--target", "100000",
+        ]) == 1
+        assert "infeasible" in capsys.readouterr().out
+
+    def test_check_command(self, capsys, tmp_path):
+        from repro.core import Mapping, ModuleSpec
+        from repro.tools import save_mapping
+
+        path = save_mapping(
+            Mapping([ModuleSpec(0, 2, 4, 5), ModuleSpec(3, 3, 4, 1)]),
+            tmp_path / "m.json",
+        )
+        assert main([
+            "check", "-w", "radar", "-m", "iwarp64-systolic",
+            "--mapping", str(path),
+        ]) == 0
+        assert "throughput" in capsys.readouterr().out
+
+    def test_trace_renders_gantt_and_svg(self, capsys, tmp_path):
+        svg_path = tmp_path / "t.svg"
+        assert main([
+            "trace", "-w", "fft-hist-256", "-m", "iwarp64-message",
+            "--datasets", "8", "--svg", str(svg_path),
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "mapping:" in out
+        assert "|" in out  # gantt lanes
+        assert svg_path.read_text().startswith("<svg")

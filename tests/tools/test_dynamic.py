@@ -1,0 +1,99 @@
+"""Tests for dynamic remapping and the greedy warm start."""
+
+import pytest
+
+from repro.core import (
+    Edge,
+    InfeasibleError,
+    PolynomialEComm,
+    PolynomialExec,
+    Task,
+    TaskChain,
+    build_module_chain,
+    greedy_assignment,
+    singleton_clustering,
+)
+from repro.machine import sp2_16
+from repro.tools import run_phases
+from tests.conftest import make_random_chain
+
+
+def _phase(solve_work: float, reduce_work: float) -> TaskChain:
+    return TaskChain(
+        tasks=[
+            Task("ingest", PolynomialExec(0.005, 1.0)),
+            Task("solve", PolynomialExec(0.01, solve_work)),
+            Task("reduce", PolynomialExec(0.02, reduce_work, 0.02),
+                 replicable=False),
+        ],
+        edges=[
+            Edge(ecom=PolynomialEComm(0.01, 0.5, 0.5, 0.001, 0.001)),
+            Edge(ecom=PolynomialEComm(0.01, 0.3, 0.3, 0.001, 0.001)),
+        ],
+        name="drift",
+    )
+
+
+class TestWarmStart:
+    def test_warm_start_respects_minimums(self):
+        chain = make_random_chain(3, seed=2, with_memory=True)
+        mc = build_module_chain(chain, singleton_clustering(3), 1.0)
+        res = greedy_assignment(mc, 20, initial_totals=[1, 1, 1])
+        for t, info in zip(res.totals, mc.infos):
+            assert t >= info.p_min
+
+    def test_warm_start_sheds_excess(self):
+        chain = make_random_chain(3, seed=2)
+        mc = build_module_chain(chain, singleton_clustering(3))
+        res = greedy_assignment(mc, 8, initial_totals=[10, 10, 10])
+        assert sum(res.totals) <= 8
+
+    def test_warm_start_same_quality_as_cold(self):
+        for seed in range(6):
+            chain = make_random_chain(3, seed=seed)
+            mc = build_module_chain(chain, singleton_clustering(3))
+            cold = greedy_assignment(mc, 14, backtracking=True)
+            warm = greedy_assignment(
+                mc, 14, backtracking=True, initial_totals=cold.totals
+            )
+            assert warm.throughput >= cold.throughput * (1 - 1e-9)
+
+    def test_warm_start_wrong_length(self):
+        chain = make_random_chain(3, seed=2)
+        mc = build_module_chain(chain, singleton_clustering(3))
+        with pytest.raises(InfeasibleError):
+            greedy_assignment(mc, 14, initial_totals=[4, 4])
+
+
+class TestRunPhases:
+    @pytest.fixture(scope="class")
+    def report(self):
+        phases = [
+            _phase(20.0, 2.0),
+            _phase(20.0, 2.0),
+            _phase(4.0, 10.0),
+        ]
+        return run_phases(phases, sp2_16(), threshold=0.08, n_datasets=80)
+
+    def test_cold_start_always_maps(self, report):
+        assert report.outcomes[0].remapped
+
+    def test_holds_mapping_while_stable(self, report):
+        assert not report.outcomes[1].remapped
+
+    def test_detects_drift_and_recovers(self, report):
+        drift = report.outcomes[2]
+        assert drift.remapped
+        assert drift.measured_after > 1.5 * drift.measured_before
+
+    def test_total_gain_positive(self, report):
+        assert report.total_gain() > 1.0
+        assert report.remap_count == 2
+
+    def test_validates_inputs(self):
+        with pytest.raises(ValueError):
+            run_phases([], sp2_16())
+        with pytest.raises(ValueError):
+            run_phases(
+                [_phase(1, 1), make_random_chain(4, seed=0)], sp2_16()
+            )

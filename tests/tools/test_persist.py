@@ -1,0 +1,87 @@
+"""Tests for JSON persistence of chains, mappings, and plans."""
+
+import json
+
+import pytest
+
+from repro.core import Mapping, ModuleSpec, evaluate_mapping
+from repro.tools import (
+    load_chain,
+    load_mapping,
+    save_chain,
+    save_mapping,
+    save_plan_summary,
+)
+from tests.conftest import make_random_chain
+
+
+class TestMappingPersistence:
+    def test_round_trip(self, tmp_path):
+        m = Mapping([ModuleSpec(0, 0, 3, 8), ModuleSpec(1, 2, 4, 10)])
+        path = save_mapping(m, tmp_path / "m.json")
+        assert load_mapping(path) == m
+
+    def test_rejects_wrong_kind(self, tmp_path):
+        chain = make_random_chain(2, seed=0)
+        path = save_chain(chain, tmp_path / "c.json")
+        with pytest.raises(ValueError):
+            load_mapping(path)
+
+    def test_rejects_foreign_format(self, tmp_path):
+        path = tmp_path / "x.json"
+        path.write_text(json.dumps({"format": "other", "kind": "mapping"}))
+        with pytest.raises(ValueError):
+            load_mapping(path)
+
+
+class TestChainPersistence:
+    def test_round_trip_preserves_costs(self, tmp_path):
+        chain = make_random_chain(3, seed=4)
+        path = save_chain(chain, tmp_path / "c.json")
+        again = load_chain(path)
+        assert [t.name for t in again] == [t.name for t in chain]
+        for p in (1, 3, 9):
+            for a, b in zip(chain.tasks, again.tasks):
+                assert b.exec_cost(p) == pytest.approx(a.exec_cost(p))
+            for ea, eb in zip(chain.edges, again.edges):
+                assert eb.ecom(p, p + 1) == pytest.approx(ea.ecom(p, p + 1))
+
+    def test_evaluation_identical_after_round_trip(self, tmp_path):
+        chain = make_random_chain(3, seed=5)
+        mapping = Mapping([ModuleSpec(0, 1, 4, 2), ModuleSpec(2, 2, 3, 1)])
+        again = load_chain(save_chain(chain, tmp_path / "c.json"))
+        a = evaluate_mapping(chain, mapping)
+        b = evaluate_mapping(again, mapping)
+        assert b.throughput == pytest.approx(a.throughput)
+
+    def test_true_workload_models_are_not_serialisable(self, tmp_path):
+        """Lambda-based truth must refuse to persist (by design)."""
+        from repro.machine import iwarp64_message
+        from repro.workloads import fft_hist
+
+        wl = fft_hist(256, iwarp64_message())
+        with pytest.raises(NotImplementedError):
+            save_chain(wl.chain, tmp_path / "c.json")
+
+
+class TestPlanPersistence:
+    def test_plan_summary_contents(self, tmp_path):
+        from repro.machine import iwarp64_message
+        from repro.tools import auto_map
+        from repro.workloads import fft_hist
+
+        wl = fft_hist(256, iwarp64_message())
+        plan = auto_map(wl)
+        path = save_plan_summary(plan, tmp_path / "plan.json")
+        payload = json.loads(path.read_text())
+        assert payload["workload"] == wl.name
+        assert payload["solvers_agree"] is True
+        # The stored mapping and fitted chain are loadable structures.
+        mapping = Mapping.from_dict(payload["mapping"])
+        from repro.core import TaskChain
+
+        fitted = TaskChain.from_dict(payload["fitted_chain"])
+        perf = evaluate_mapping(fitted, mapping)
+        assert perf.throughput == pytest.approx(
+            payload["predicted_throughput"], rel=1e-6
+        )

@@ -1,0 +1,50 @@
+"""Tests for the ASCII plot renderers."""
+
+import pytest
+
+from repro.tools import bar_chart, xy_plot
+
+
+class TestXYPlot:
+    def test_markers_and_legend(self):
+        art = xy_plot({"a": [(1, 1), (2, 2)], "b": [(1, 2), (2, 1)]},
+                      width=20, height=6)
+        assert "o = a" in art and "x = b" in art
+        assert "o" in art and "x" in art
+
+    def test_axis_labels_and_range(self):
+        art = xy_plot({"s": [(1, 10), (100, 1000)]},
+                      xlabel="procs", ylabel="time")
+        assert "procs" in art and "time" in art
+        assert "1000" in art
+
+    def test_log_axes(self):
+        art = xy_plot({"s": [(1, 1), (10, 100), (100, 10000)]},
+                      logx=True, logy=True, width=30, height=8)
+        grid = art.split("\n", 1)[1]  # skip the legend line
+        assert grid.count("o") == 3
+
+    def test_log_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            xy_plot({"s": [(0, 1)]}, logx=True)
+
+    def test_empty(self):
+        assert xy_plot({}) == "(no data)"
+
+    def test_degenerate_single_point(self):
+        art = xy_plot({"s": [(5, 5)]}, width=10, height=4)
+        assert "o" in art
+
+
+class TestBarChart:
+    def test_proportional_bars(self):
+        art = bar_chart([("big", 10.0), ("small", 5.0)])
+        big_line, small_line = art.split("\n")
+        assert big_line.count("#") > small_line.count("#")
+
+    def test_values_printed(self):
+        art = bar_chart([("x", 3.25)], unit="s")
+        assert "3.25s" in art
+
+    def test_empty(self):
+        assert bar_chart([]) == "(no data)"

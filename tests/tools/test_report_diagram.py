@@ -1,0 +1,61 @@
+"""Tests for table rendering and ASCII diagrams."""
+
+import pytest
+
+from repro.core import Mapping, ModuleSpec
+from repro.machine import Rect, iwarp64_message
+from repro.tools import format_mapping, grid_diagram, mapping_diagram, render_table, task_graph
+from repro.workloads import fft_hist
+
+
+class TestRenderTable:
+    def test_alignment_and_content(self):
+        out = render_table(["name", "value"], [["a", 1.23456], ["bb", 7]])
+        lines = out.split("\n")
+        assert lines[0].startswith("name")
+        assert "1.235" in out  # 4 significant digits
+        assert "bb" in out
+
+    def test_title(self):
+        out = render_table(["x"], [[1]], title="T")
+        assert out.startswith("T\n")
+
+    def test_empty_rows(self):
+        out = render_table(["col"], [])
+        assert "col" in out
+
+
+class TestFormatMapping:
+    def test_with_chain_names(self):
+        wl = fft_hist(256, iwarp64_message())
+        m = Mapping([ModuleSpec(0, 0, 3, 8), ModuleSpec(1, 2, 4, 10)])
+        s = format_mapping(m, wl.chain)
+        assert s == "{colffts}x8@3p | {rowffts,hist}x10@4p"
+
+    def test_without_chain(self):
+        m = Mapping([ModuleSpec(0, 1, 2)])
+        assert format_mapping(m) == "{0..1}x1@2p"
+
+
+class TestDiagrams:
+    def test_task_graph_mentions_all_tasks(self):
+        wl = fft_hist(256, iwarp64_message())
+        art = task_graph(wl.chain)
+        for t in wl.chain:
+            assert t.name in art
+        assert "matching distributions" in art
+
+    def test_mapping_diagram_counts_processors(self):
+        wl = fft_hist(256, iwarp64_message())
+        m = Mapping([ModuleSpec(0, 0, 3, 8), ModuleSpec(1, 2, 4, 10)])
+        art = mapping_diagram(m, wl.chain, 64)
+        assert "Processors used: 64 / 64" in art
+        assert "8 instance(s) x 3 processors" in art
+
+    def test_grid_diagram_letters(self):
+        mach = iwarp64_message()
+        placements = [[Rect(0, 0, 8, 4)], [Rect(0, 4, 8, 4)]]
+        art = grid_diagram(placements, mach)
+        assert "A" in art and "B" in art
+        # Full cover: no idle cells.
+        assert "." not in art.split("\n", 1)[1]
