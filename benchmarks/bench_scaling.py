@@ -13,7 +13,7 @@ from conftest import run_once
 def test_scaling(benchmark, save_artifact):
     data = run_once(
         benchmark,
-        lambda: scaling.run(p_sweep=(8, 16, 32, 64), k_sweep=(2, 3, 4, 5)),
+        lambda: scaling.run(p_sweep=(8, 16, 32, 64, 128), k_sweep=(2, 3, 4, 5)),
     )
     save_artifact("scaling", scaling.render(data))
 

@@ -39,6 +39,7 @@ from .response import (
     MappingPerformance,
     ModuleChain,
     ModuleInfo,
+    SegmentCache,
     build_module_chain,
     evaluate_mapping,
     evaluate_module_chain,
@@ -46,6 +47,7 @@ from .response import (
     throughput_of_totals,
     totals_to_allocations,
 )
+from .workspace import SolverWorkspace, argmin_dtype, default_workspace
 from .dp import DPResult, optimal_assignment
 from .dp_cluster import ClusteredResult, optimal_mapping
 from .greedy import GreedyResult, greedy_assignment
@@ -85,9 +87,12 @@ __all__ = [
     "clustering_from_boundaries",
     # replication & evaluation
     "split_replicas", "effective_tables", "check_no_superlinear",
-    "ModuleInfo", "ModuleChain", "build_module_chain", "module_exec_cost",
+    "ModuleInfo", "ModuleChain", "SegmentCache", "build_module_chain",
+    "module_exec_cost",
     "MappingPerformance", "evaluate_mapping", "evaluate_module_chain",
     "throughput_of_totals", "totals_to_allocations",
+    # performance layer
+    "SolverWorkspace", "default_workspace", "argmin_dtype",
     # solvers
     "DPResult", "optimal_assignment",
     "ClusteredResult", "optimal_mapping",

@@ -20,9 +20,29 @@ is evaluated as vectorised numpy tensor operations, giving the paper's
 ``O(P^4 k)`` operation count at C speed with ``O(P^3)`` memory per stage.
 
 Replication (§3.2) is folded in through *effective* processor counts: the
-response tensors are built by :meth:`ModuleChain.response_tensor`, which
+response tensors are built from :meth:`ModuleChain.response_parts`, which
 converts total allocations into per-instance sizes and divides by the
 instance count.
+
+Performance layer (bit-identical to the straightforward evaluation):
+
+* all ``(P+1)^3`` tensors live in a reusable :class:`SolverWorkspace`
+  arena instead of being re-allocated per stage and per clustering;
+* tensors are laid out with the reduction axis ``q`` last, so the
+  ``max``/``argmin`` runs over contiguous memory;
+* the transition block skips ``pl > pt`` cells (provably +inf — a module
+  cannot exceed the budget of its prefix), halving the work;
+* the last stage materialises only the ``pt = P, pn = 0`` plane the
+  reconstruction can ever read, turning one full ``O(P^4)`` stage per
+  solve into an ``O(P^2)`` one;
+* argmin tables use the smallest integer dtype that can index ``0..P``.
+
+All of these preserve the exact float operations (and first-index argmin
+tie-breaking) of the seed implementation, so returned mappings are
+byte-identical; the benchmark harness asserts this against an embedded
+copy of the seed solver.  An opt-in ``float32`` workspace trades that
+bit-equality for half the memory traffic, with the reconstructed mapping
+re-scored analytically in ``float64`` so reported numbers stay exact.
 """
 
 from __future__ import annotations
@@ -39,11 +59,12 @@ from .response import (
     evaluate_module_chain,
     totals_to_allocations,
 )
+from .workspace import SolverWorkspace, argmin_dtype, default_workspace
 
 __all__ = ["DPResult", "optimal_assignment"]
 
-#: How many p_next planes to process per chunk in the stage transition;
-#: bounds peak memory at ~(P+1)^3 * chunk floats.
+#: How many p_next planes the *reference* transition processes per chunk
+#: (kept for the sibling DPs in latency.py that still use this layout).
 _PN_CHUNK = 8
 
 
@@ -68,7 +89,63 @@ class DPResult:
 
 def _strip_replication(mchain: ModuleChain) -> ModuleChain:
     infos = [replace(i, replicable=False) for i in mchain.infos]
-    return ModuleChain(mchain.chain, infos, mchain.ecoms)
+    return ModuleChain(mchain.chain, infos, mchain.ecoms, cache=mchain.cache)
+
+
+def _assemble_r2(mchain, j, P, out, mask):
+    """Fill ``out[pl, pn, q]`` with module ``j``'s response tensor.
+
+    Same float operations as the analytic ``(ce + com_out) / denom``
+    formula, evaluated directly into the reusable workspace buffer.
+    """
+    ce, com_out, denom, feasible = mchain.response_parts(j, P)
+    if out.dtype != ce.dtype:
+        ce = ce.astype(out.dtype)
+        com_out = com_out.astype(out.dtype)
+        denom = denom.astype(out.dtype)
+    with np.errstate(invalid="ignore", divide="ignore"):
+        np.add(ce.T[:, None, :], com_out[:, :, None], out=out)
+        np.divide(out, denom[:, None, None], out=out)
+    out[~feasible] = np.inf
+    if mask is not None:
+        out[~mask] = np.inf
+
+
+def _assemble_final_plane(mchain, j, P, dtype, mask):
+    """``R[q, pl, 0]`` as a ``(pl, q)`` plane — all the last stage needs."""
+    ce, com_out, denom, feasible = mchain.response_parts(j, P)
+    with np.errstate(invalid="ignore", divide="ignore"):
+        plane = (ce.T + com_out[:, 0][:, None]) / denom[:, None]
+    plane[~feasible] = np.inf
+    if mask is not None:
+        plane[~mask] = np.inf
+    return plane.astype(dtype, copy=False)
+
+
+def _first_stage(mchain, P, V, mask):
+    """V_0[pt, pl, pn] = resp_0(φ, pl, pn), +inf where pl exceeds pt."""
+    ce, com_out, denom, feasible = mchain.response_parts(0, P)
+    with np.errstate(invalid="ignore", divide="ignore"):
+        base = (ce[0][:, None] + com_out) / denom[:, None]  # (pl, pn)
+    base[~feasible] = np.inf
+    if mask is not None:
+        base[~mask] = np.inf
+    np.copyto(V, base[None, :, :])
+    over_budget = np.arange(P + 1)[:, None] < np.arange(P + 1)[None, :]
+    V[over_budget] = np.inf
+
+
+def _shift_into(V_prev, W2, P):
+    """``W2[pt, pl, q] = V_prev[pt - pl, q, pl]`` (+inf when pt < pl).
+
+    Built as P+1 strided slice copies — no index tensors, no temporaries.
+    """
+    N = P + 1
+    for pl in range(N):
+        dst = W2[:, pl, :]
+        dst[pl:] = V_prev[: N - pl, :, pl]
+        if pl:
+            dst[:pl] = np.inf
 
 
 def optimal_assignment(
@@ -76,6 +153,7 @@ def optimal_assignment(
     total_procs: int,
     replication: bool = True,
     allowed_totals=None,
+    workspace: SolverWorkspace | None = None,
 ) -> DPResult:
     """Optimal allocation of ``total_procs`` processors to a module chain.
 
@@ -95,6 +173,9 @@ def optimal_assignment(
         masking which *total* allocations a module may take — used e.g. to
         restrict instance sizes to rectangular subarrays (§6.1 machine
         constraints).
+    workspace:
+        A :class:`SolverWorkspace` providing the reusable tensor arena and
+        the dtype/memory policy; defaults to the process-wide one.
 
     Returns a :class:`DPResult`; raises :class:`InfeasibleError` when the
     per-module minimums cannot be met.
@@ -111,56 +192,80 @@ def optimal_assignment(
             f"machine has {P}"
         )
 
-    size = (P + 1) ** 3
-    pt_idx = np.arange(P + 1)[:, None, None]
-    q_idx = np.arange(P + 1)[None, :, None]
-    pl_idx = np.arange(P + 1)[None, None, :]
+    ws = workspace if workspace is not None else default_workspace()
+    ar = ws.arena(P)
+    N = P + 1
+    size = N ** 3
+    q_dtype = argmin_dtype(P)
 
-    V_prev: np.ndarray | None = None
-    argmin_tables: list[np.ndarray | None] = []
+    def mask_for(j):
+        if allowed_totals is None:
+            return None
+        return np.asarray(allowed_totals(j), dtype=bool)
 
-    for j in range(l):
-        R = mchain.response_tensor(j, P)  # (q, pl, pn)
-        if allowed_totals is not None:
-            ok = np.asarray(allowed_totals(j), dtype=bool)
-            R = R.copy()
-            R[:, ~ok, :] = np.inf
-        if j == 0:
-            # Module 0 has no predecessor: response constant along q (row 0).
-            base = R[0]  # (pl, pn)
-            # pl may not exceed the budget pt.
-            over_budget = (
-                np.arange(P + 1)[None, :, None] > np.arange(P + 1)[:, None, None]
-            )  # (pt, pl, 1)
-            V = np.where(over_budget, np.inf, base[None, :, :])
-            argmin_tables.append(None)
-            V_prev = V
-            continue
+    V_prev, V_next = ar.V0, ar.V1
+    _first_stage(mchain, P, V_prev, mask_for(0))
 
-        # W[pt, q, pl] = V_{j-1}[pt - pl, q, pl]   (inf when pt < pl)
-        src = pt_idx - pl_idx
-        valid = src >= 0
-        W = np.where(
-            valid,
-            V_prev[np.clip(src, 0, P), q_idx, pl_idx],
-            np.inf,
-        )
+    # None for stage 0; (P+1)^3 tables for middle stages; a 1-D plane row
+    # (indexed by pl at the fixed pt=P, pn=0 state) for the last stage.
+    argmin_tables: list[np.ndarray | None] = [None]
+    final: np.ndarray | None = None
 
-        V = np.empty((P + 1, P + 1, P + 1))
-        Q = np.empty((P + 1, P + 1, P + 1), dtype=np.int32)
-        for lo in range(0, P + 1, _PN_CHUNK):
-            hi = min(lo + _PN_CHUNK, P + 1)
-            # (pt, q, pl, pn_chunk)
-            T = np.maximum(W[:, :, :, None], R[None, :, :, lo:hi])
-            Q[:, :, lo:hi] = np.argmin(T, axis=1)
-            V[:, :, lo:hi] = np.min(T, axis=1)
+    for j in range(1, l):
+        if j == l - 1:
+            # Reconstruction only ever reads V_{l-1}[P, pl, 0], so the last
+            # stage computes just that plane: O(P^2) instead of O(P^4).
+            Rf = _assemble_final_plane(mchain, j, P, ar.R2.dtype, mask_for(j))
+            W2f = np.empty_like(Rf)  # (pl, q)
+            for pl in range(N):
+                W2f[pl] = V_prev[P - pl, :, pl]
+            T = np.maximum(W2f, Rf)
+            qbest = np.argmin(T, axis=-1)
+            final = np.take_along_axis(T, qbest[:, None], axis=-1)[:, 0]
+            argmin_tables.append(qbest.astype(q_dtype))
+            break
+
+        _assemble_r2(mchain, j, P, ar.R2, mask_for(j))
+        _shift_into(V_prev, ar.W2, P)
+        V_next.fill(np.inf)
+        Q = np.zeros((N, N, N), dtype=q_dtype)
+        ws.track(Q.nbytes)
+
+        cells = ar.block_cells  # (pt, pl) cells per scratch block
+        tile = N * N            # one (pn, q) tile
+        lo = 0
+        while lo < N:
+            # Grow the pt-chunk while the (triangle-limited) block fits.
+            n = 1
+            while lo + n < N and (n + 1) * min(lo + n + 1, N) <= cells:
+                n += 1
+            hi = lo + n
+            m = min(hi, N)  # pl < hi can be feasible for pt < hi
+            b = max(1, cells // n)  # pl-block when one chunk row overflows
+            for bl in range(0, m, b):
+                bh = min(bl + b, m)
+                nb = bh - bl
+                T = ar.t_flat[: n * nb * tile].reshape(n, nb, N, N)
+                np.maximum(
+                    ar.W2[lo:hi, bl:bh, None, :], ar.R2[None, bl:bh], out=T
+                )
+                idx = ar.idx_flat[: n * nb * N].reshape(n, nb, N)
+                np.argmin(T, axis=-1, out=idx)
+                Q[lo:hi, bl:bh] = idx
+                V_next[lo:hi, bl:bh] = np.take_along_axis(
+                    T, idx[..., None], axis=-1
+                )[..., 0]
+            lo = hi
         argmin_tables.append(Q)
-        V_prev = V
+        V_prev, V_next = V_next, V_prev
 
-    final = V_prev[P, :, 0]  # over pl
+    if final is None:  # single-module chain: no transition ran
+        final = V_prev[P, :, 0]
+
     best_pl = int(np.argmin(final))
     best_val = float(final[best_pl])
     if not np.isfinite(best_val):
+        ws.release()
         raise InfeasibleError(
             f"no feasible assignment of {P} processors to {l} modules"
         )
@@ -170,11 +275,20 @@ def optimal_assignment(
     totals[l - 1] = best_pl
     pt, pl, pn = P, best_pl, 0
     for j in range(l - 1, 0, -1):
-        q = int(argmin_tables[j][pt, pl, pn])
+        table = argmin_tables[j]
+        if table.ndim == 1:  # last-stage plane: state is (P, pl, 0)
+            q = int(table[pl])
+        else:
+            q = int(table[pt, pl, pn])
         totals[j - 1] = q
         pt, pl, pn = pt - pl, q, pl
+    ws.release()
     allocations = totals_to_allocations(mchain, totals)
     perf = evaluate_module_chain(mchain, allocations)
+    if ws.value_dtype != np.dtype(np.float64):
+        # Reduced-precision tables: re-score the reconstructed mapping
+        # analytically so the reported objective is exact.
+        best_val = float(max(perf.effective_responses))
     return DPResult(
         totals=totals,
         performance=perf,

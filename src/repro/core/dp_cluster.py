@@ -27,6 +27,8 @@ brute-force oracle in the test suite.
 
 from __future__ import annotations
 
+import pickle
+from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass
 from typing import Sequence
 
@@ -38,6 +40,7 @@ from .mapping import Mapping, all_clusterings
 from .replication import effective_tables
 from .response import (
     MappingPerformance,
+    SegmentCache,
     build_module_chain,
     evaluate_module_chain,
     module_exec_cost,
@@ -75,6 +78,7 @@ def optimal_mapping(
     method: str = "auto",
     tol: float = 1e-9,
     instance_size_ok=None,
+    workers: int | None = None,
 ) -> ClusteredResult:
     """Find the throughput-optimal mapping of ``chain`` onto ``total_procs``.
 
@@ -82,12 +86,19 @@ def optimal_mapping(
     up to 12 tasks, bisect beyond).  ``instance_size_ok`` optionally
     restricts the per-instance processor counts any module may use (e.g. to
     rectangular subarray sizes, §6.1): a callable ``f(size: int) -> bool``.
+
+    ``workers`` (exhaustive method only) fans the independent per-clustering
+    DPs out across that many worker processes; the reduction is
+    deterministic, so results are identical to the serial path.  Requires
+    the chain (and ``instance_size_ok``, if given) to be picklable — the
+    solver silently falls back to serial when they are not.
     """
     if method == "auto":
         method = "exhaustive" if len(chain) <= 12 else "bisect"
     if method == "exhaustive":
         return _exhaustive_clusterings(
-            chain, total_procs, mem_per_proc_mb, replication, instance_size_ok
+            chain, total_procs, mem_per_proc_mb, replication, instance_size_ok,
+            workers=workers,
         )
     if method == "bisect":
         return _bisect_mapping(
@@ -116,31 +127,93 @@ def _totals_filter(mchain, total_procs: int, replication: bool, instance_size_ok
 # ---------------------------------------------------------------------------
 
 
+def _solve_one_clustering(args):
+    """Solve the assignment DP for one clustering (worker entry point).
+
+    Returns ``(examined, result_or_None)`` so the reducer can reproduce the
+    serial bookkeeping exactly.  Must stay module-level for pickling.
+    """
+    chain, clustering, total_procs, mem_per_proc_mb, replication, size_ok = args
+    mchain = build_module_chain(chain, clustering, mem_per_proc_mb)
+    if mchain.total_min_procs > total_procs:
+        return (False, None)
+    try:
+        res = optimal_assignment(
+            mchain,
+            total_procs,
+            replication=replication,
+            allowed_totals=_totals_filter(
+                mchain, total_procs, replication, size_ok
+            ),
+        )
+    except InfeasibleError:
+        return (True, None)
+    return (True, res)
+
+
+def _fan_out(chain, clusterings, total_procs, mem_per_proc_mb, replication,
+             instance_size_ok, workers):
+    """Per-clustering DPs across worker processes; None if not picklable."""
+    try:
+        pickle.dumps((chain, instance_size_ok))
+    except Exception:
+        return None
+    payloads = [
+        (chain, cl, total_procs, mem_per_proc_mb, replication, instance_size_ok)
+        for cl in clusterings
+    ]
+    chunksize = max(1, len(payloads) // (workers * 4))
+    with ProcessPoolExecutor(max_workers=workers) as pool:
+        return list(pool.map(_solve_one_clustering, payloads, chunksize=chunksize))
+
+
 def _exhaustive_clusterings(
     chain: TaskChain,
     total_procs: int,
     mem_per_proc_mb: float,
     replication: bool,
     instance_size_ok=None,
+    workers: int | None = None,
 ) -> ClusteredResult:
+    clusterings = list(all_clusterings(len(chain)))
+    outcomes = None
+    if workers is not None and workers > 1 and len(clusterings) > 1:
+        outcomes = _fan_out(
+            chain, clusterings, total_procs, mem_per_proc_mb, replication,
+            instance_size_ok, workers,
+        )
+    if outcomes is None:
+        # Serial path: one segment cache shared by every clustering, so each
+        # distinct (span, neighbour-context) builds its tensors exactly once.
+        cache = SegmentCache(chain, mem_per_proc_mb)
+        outcomes = []
+        for clustering in clusterings:
+            mchain = cache.module_chain(clustering)
+            if mchain.total_min_procs > total_procs:
+                outcomes.append((False, None))
+                continue
+            try:
+                res = optimal_assignment(
+                    mchain,
+                    total_procs,
+                    replication=replication,
+                    allowed_totals=_totals_filter(
+                        mchain, total_procs, replication, instance_size_ok
+                    ),
+                )
+            except InfeasibleError:
+                outcomes.append((True, None))
+                continue
+            outcomes.append((True, res))
+
+    # Deterministic reduction in enumeration order: identical to the seed's
+    # serial loop (strict > keeps the first clustering on ties).
     best: DPResult | None = None
     best_clustering = None
     examined = 0
-    for clustering in all_clusterings(len(chain)):
-        mchain = build_module_chain(chain, clustering, mem_per_proc_mb)
-        if mchain.total_min_procs > total_procs:
-            continue
-        examined += 1
-        try:
-            res = optimal_assignment(
-                mchain,
-                total_procs,
-                replication=replication,
-                allowed_totals=_totals_filter(
-                    mchain, total_procs, replication, instance_size_ok
-                ),
-            )
-        except InfeasibleError:
+    for clustering, (counted, res) in zip(clusterings, outcomes):
+        examined += int(counted)
+        if res is None:
             continue
         if best is None or res.throughput > best.throughput:
             best, best_clustering = res, clustering

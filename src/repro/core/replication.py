@@ -10,6 +10,8 @@ processors equally, so each instance uses the *effective* count
 
 from __future__ import annotations
 
+from functools import lru_cache
+
 import numpy as np
 
 __all__ = [
@@ -32,15 +34,10 @@ def split_replicas(total: int, p_min: int, replicable: bool) -> tuple[int, int]:
     return (r, total // r)
 
 
-def effective_tables(
+@lru_cache(maxsize=4096)
+def _effective_tables_cached(
     max_procs: int, p_min: int, replicable: bool
 ) -> tuple[np.ndarray, np.ndarray]:
-    """Vectorised :func:`split_replicas` over totals ``0..max_procs``.
-
-    Returns ``(r, s)`` integer arrays of length ``max_procs + 1`` where
-    ``r[p]`` is the instance count and ``s[p]`` the per-instance size for a
-    total allocation of ``p``; both are 0 for infeasible totals.
-    """
     totals = np.arange(max_procs + 1)
     if replicable:
         r = totals // p_min
@@ -49,7 +46,25 @@ def effective_tables(
     s = np.zeros_like(totals)
     ok = r > 0
     s[ok] = totals[ok] // r[ok]
+    r.setflags(write=False)
+    s.setflags(write=False)
     return r, s
+
+
+def effective_tables(
+    max_procs: int, p_min: int, replicable: bool
+) -> tuple[np.ndarray, np.ndarray]:
+    """Vectorised :func:`split_replicas` over totals ``0..max_procs``.
+
+    Returns ``(r, s)`` integer arrays of length ``max_procs + 1`` where
+    ``r[p]`` is the instance count and ``s[p]`` the per-instance size for a
+    total allocation of ``p``; both are 0 for infeasible totals.
+
+    Results are memoised and returned read-only — every solver asks for the
+    same handful of ``(P, p_min, replicable)`` tables thousands of times per
+    mapping solve.  Copy before mutating.
+    """
+    return _effective_tables_cached(int(max_procs), int(p_min), bool(replicable))
 
 
 def check_no_superlinear(cost, max_procs: int, rtol: float = 1e-9) -> bool:

@@ -31,6 +31,7 @@ from .task import TaskChain
 __all__ = [
     "ModuleInfo",
     "ModuleChain",
+    "SegmentCache",
     "build_module_chain",
     "MappingPerformance",
     "evaluate_module_chain",
@@ -64,12 +65,19 @@ class ModuleChain:
     communication cost between modules ``i`` and ``i+1``.
     """
 
-    def __init__(self, chain: TaskChain, infos: list[ModuleInfo], ecoms: list[BinaryCost]):
+    def __init__(
+        self,
+        chain: TaskChain,
+        infos: list[ModuleInfo],
+        ecoms: list[BinaryCost],
+        cache: "SegmentCache | None" = None,
+    ):
         if len(ecoms) != len(infos) - 1:
             raise InvalidMappingError("module chain needs l-1 boundary communications")
         self.chain = chain
         self.infos = infos
         self.ecoms = ecoms
+        self.cache = cache
 
     def __len__(self) -> int:
         return len(self.infos)
@@ -93,6 +101,26 @@ class ModuleChain:
             ss.append(s)
         return np.stack(rs), np.stack(ss)
 
+    def response_parts(
+        self, i: int, max_procs: int
+    ) -> tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+        """Separable factors of :meth:`response_tensor` (performance layer).
+
+        The full tensor decomposes as
+
+            R[q, pl, pn] = (ce[q, pl] + com_out[pl, pn]) / denom[pl]
+
+        with infeasible ``pl`` forced to +inf, where ``ce`` is the incoming
+        communication plus execution and ``denom`` the replica count.
+        Returning the 2-D factors lets the DP assemble ``R`` directly into a
+        reusable buffer (any memory layout, any dtype) and lets the segment
+        cache share them across clusterings.  Arrays are cached when the
+        chain carries a :class:`SegmentCache` — treat them as read-only.
+        """
+        if self.cache is not None:
+            return self.cache.parts(self, i, max_procs)
+        return _compute_parts(self, i, max_procs)
+
     def response_tensor(self, i: int, max_procs: int) -> np.ndarray:
         """Effective response of module ``i`` for every allocation triple.
 
@@ -101,41 +129,9 @@ class ModuleChain:
         ``pn`` *total* processors.  Index 0 on the ``q``/``pn`` axes encodes
         "no such neighbour" (the paper's φ); infeasible ``pl`` gives +inf.
         """
-        P = max_procs
-        info = self.infos[i]
-        _, s_self = effective_tables(P, info.p_min, info.replicable)
-        r_self, _ = effective_tables(P, info.p_min, info.replicable)
-        sl = s_self.astype(float)
-        feasible = r_self > 0
-
-        exec_part = np.full(P + 1, np.inf)
-        exec_part[feasible] = info.exec_cost(sl[feasible])
-
-        # Incoming communication: tensor over (q, pl).
-        if i > 0:
-            prev = self.infos[i - 1]
-            _, s_prev = effective_tables(P, prev.p_min, prev.replicable)
-            com_in = _ecom_grid(self.ecoms[i - 1], s_prev, s_self)  # (q, pl)
-        else:
-            com_in = np.zeros((P + 1, P + 1))
-            com_in[:, ~feasible] = np.inf
-        # Outgoing communication: tensor over (pl, pn).
-        if i < len(self.infos) - 1:
-            nxt = self.infos[i + 1]
-            _, s_next = effective_tables(P, nxt.p_min, nxt.replicable)
-            com_out = _ecom_grid(self.ecoms[i], s_self, s_next)  # (pl, pn)
-        else:
-            com_out = np.zeros((P + 1, P + 1))
-            com_out[~feasible, :] = np.inf
-
-        resp = (
-            com_in[:, :, None]
-            + exec_part[None, :, None]
-            + com_out[None, :, :]
-        )
+        ce, com_out, denom, feasible = self.response_parts(i, max_procs)
         with np.errstate(invalid="ignore", divide="ignore"):
-            denom = np.where(feasible, r_self, 1).astype(float)
-            resp = resp / denom[None, :, None]
+            resp = (ce[:, :, None] + com_out[None, :, :]) / denom[None, :, None]
         resp[:, ~feasible, :] = np.inf
         return resp
 
@@ -162,6 +158,119 @@ def _ecom_grid(ecom: BinaryCost, s_a: np.ndarray, s_b: np.ndarray) -> np.ndarray
     return grid
 
 
+def _compute_parts(
+    mchain: ModuleChain, i: int, P: int
+) -> tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+    """Build the separable response factors for module ``i`` (uncached)."""
+    info = mchain.infos[i]
+    r_self, s_self = effective_tables(P, info.p_min, info.replicable)
+    sl = s_self.astype(float)
+    feasible = r_self > 0
+
+    exec_part = np.full(P + 1, np.inf)
+    exec_part[feasible] = info.exec_cost(sl[feasible])
+
+    # Incoming communication: grid over (q, pl).
+    if i > 0:
+        prev = mchain.infos[i - 1]
+        _, s_prev = effective_tables(P, prev.p_min, prev.replicable)
+        com_in = _ecom_grid(mchain.ecoms[i - 1], s_prev, s_self)  # (q, pl)
+    else:
+        com_in = np.zeros((P + 1, P + 1))
+        com_in[:, ~feasible] = np.inf
+    # Outgoing communication: grid over (pl, pn).
+    if i < len(mchain.infos) - 1:
+        nxt = mchain.infos[i + 1]
+        _, s_next = effective_tables(P, nxt.p_min, nxt.replicable)
+        com_out = _ecom_grid(mchain.ecoms[i], s_self, s_next)  # (pl, pn)
+    else:
+        com_out = np.zeros((P + 1, P + 1))
+        com_out[~feasible, :] = np.inf
+
+    ce = com_in + exec_part[None, :]  # (q, pl)
+    denom = np.where(feasible, r_self, 1).astype(float)
+    return ce, com_out, denom, feasible
+
+
+class SegmentCache:
+    """Memoised per-segment characteristics of one chain (performance layer).
+
+    The exhaustive clustering solver enumerates ``2^(k-1)`` clusterings of a
+    ``k``-task chain, but those clusterings share only ``k(k+1)/2`` distinct
+    segments.  This cache makes each segment's :class:`ModuleInfo` (with its
+    composed execution cost) and its response factors be computed once per
+    distinct context, not once per clustering.
+
+    Response factors additionally depend on the *neighbouring* module only
+    through its ``(p_min, replicable)`` pair, so the cache keys on those
+    values rather than on neighbour spans — adjacent clusterings that differ
+    in far-away boundaries share everything.
+
+    One cache is bound to one ``(chain, mem_per_proc_mb)`` context; the
+    chains it builds carry a reference back so the DP transparently hits it.
+    """
+
+    def __init__(
+        self, chain: TaskChain, mem_per_proc_mb: float = UNLIMITED_MEMORY_MB
+    ):
+        self.chain = chain
+        self.mem_per_proc_mb = mem_per_proc_mb
+        self._infos: dict[tuple[int, int], ModuleInfo] = {}
+        self._parts: dict[tuple, tuple] = {}
+        self.info_misses = 0
+        self.part_misses = 0
+
+    def info(self, start: int, stop: int) -> ModuleInfo:
+        """The (memoised) module over tasks ``start..stop``."""
+        key = (start, stop)
+        got = self._infos.get(key)
+        if got is None:
+            chain = self.chain
+            if self.mem_per_proc_mb == UNLIMITED_MEMORY_MB:
+                p_min = max(t.min_procs for t in chain.segment_tasks(start, stop))
+            else:
+                p_min = chain.segment_min_procs(start, stop, self.mem_per_proc_mb)
+            got = ModuleInfo(
+                start=start,
+                stop=stop,
+                exec_cost=module_exec_cost(chain, start, stop),
+                p_min=p_min,
+                replicable=chain.segment_replicable(start, stop),
+            )
+            self._infos[key] = got
+            self.info_misses += 1
+        return got
+
+    def module_chain(self, clustering: Sequence[tuple[int, int]]) -> ModuleChain:
+        """Like :func:`build_module_chain`, reusing memoised infos."""
+        return build_module_chain(
+            self.chain, clustering, self.mem_per_proc_mb, cache=self
+        )
+
+    def parts(self, mchain: ModuleChain, i: int, P: int) -> tuple:
+        """Memoised :func:`_compute_parts` for module ``i`` of ``mchain``."""
+        info = mchain.infos[i]
+        prev = mchain.infos[i - 1] if i > 0 else None
+        nxt = mchain.infos[i + 1] if i < len(mchain.infos) - 1 else None
+        # Keyed by the module's own identity plus the neighbour replication
+        # contexts; p_min/replicable are part of the key (not derived from
+        # the span) so replication-stripped chains cache separately.
+        key = (
+            info.start, info.stop, info.p_min, info.replicable,
+            (prev.p_min, prev.replicable) if prev is not None else None,
+            (nxt.p_min, nxt.replicable) if nxt is not None else None,
+            P,
+        )
+        got = self._parts.get(key)
+        if got is None:
+            got = _compute_parts(mchain, i, P)
+            for arr in got:
+                arr.setflags(write=False)
+            self._parts[key] = got
+            self.part_misses += 1
+        return got
+
+
 def module_exec_cost(chain: TaskChain, start: int, stop: int) -> UnaryCost:
     """Execution cost of the module ``start..stop``: the sum of its tasks'
     execution costs plus the internal communication of swallowed edges
@@ -178,8 +287,14 @@ def build_module_chain(
     chain: TaskChain,
     clustering: Sequence[tuple[int, int]],
     mem_per_proc_mb: float = UNLIMITED_MEMORY_MB,
+    cache: SegmentCache | None = None,
 ) -> ModuleChain:
-    """Compose the module-level view of ``chain`` under ``clustering``."""
+    """Compose the module-level view of ``chain`` under ``clustering``.
+
+    Passing a :class:`SegmentCache` (bound to the same chain and memory
+    limit) reuses memoised per-segment characteristics and attaches the
+    cache to the result so response factors are shared across clusterings.
+    """
     spans = list(clustering)
     if spans[0][0] != 0 or spans[-1][1] != len(chain) - 1:
         raise InvalidMappingError(f"clustering {spans} does not cover the chain")
@@ -187,6 +302,9 @@ def build_module_chain(
     for start, stop in spans:
         if infos and start != infos[-1].stop + 1:
             raise InvalidMappingError(f"clustering {spans} is not contiguous")
+        if cache is not None:
+            infos.append(cache.info(start, stop))
+            continue
         if mem_per_proc_mb == UNLIMITED_MEMORY_MB:
             p_min = max(t.min_procs for t in chain.segment_tasks(start, stop))
         else:
@@ -201,7 +319,7 @@ def build_module_chain(
             )
         )
     ecoms = [chain.edges[info.stop].ecom for info in infos[:-1]]
-    return ModuleChain(chain, infos, ecoms)
+    return ModuleChain(chain, infos, ecoms, cache=cache)
 
 
 # ---------------------------------------------------------------------------
@@ -309,7 +427,9 @@ def throughput_of_totals(
         r, s = split_replicas(int(p), info.p_min, info.replicable)
         sizes[i], reps[i] = s, r
     effective = [float("inf")] * l
-    comms = [0.0] * max(l - 1, 0)
+    # l >= 1 always (ModuleChain requires at least one module), so the comms
+    # list is simply empty for a single-module chain and never indexed.
+    comms = [0.0] * (l - 1)
     for i in range(l - 1):
         if sizes[i] > 0 and sizes[i + 1] > 0:
             comms[i] = float(mchain.ecoms[i](sizes[i], sizes[i + 1]))
