@@ -50,6 +50,7 @@ from .response import (
 from .workspace import SolverWorkspace, argmin_dtype, default_workspace
 from .dp import DPResult, optimal_assignment
 from .dp_cluster import ClusteredResult, optimal_mapping
+from .remap import RemapPlanner
 from .greedy import GreedyResult, greedy_assignment
 from .cluster_greedy import HeuristicResult, heuristic_mapping
 from .baselines import (
@@ -96,6 +97,7 @@ __all__ = [
     # solvers
     "DPResult", "optimal_assignment",
     "ClusteredResult", "optimal_mapping",
+    "RemapPlanner",
     "GreedyResult", "greedy_assignment",
     "HeuristicResult", "heuristic_mapping",
     "LatencyResult", "optimal_latency_assignment",

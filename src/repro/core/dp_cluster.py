@@ -79,6 +79,8 @@ def optimal_mapping(
     tol: float = 1e-9,
     instance_size_ok=None,
     workers: int | None = None,
+    cache: SegmentCache | None = None,
+    workspace=None,
 ) -> ClusteredResult:
     """Find the throughput-optimal mapping of ``chain`` onto ``total_procs``.
 
@@ -92,13 +94,24 @@ def optimal_mapping(
     deterministic, so results are identical to the serial path.  Requires
     the chain (and ``instance_size_ok``, if given) to be picklable — the
     solver silently falls back to serial when they are not.
+
+    ``cache`` (a :class:`SegmentCache` bound to the same chain and memory
+    limit) and ``workspace`` (a :class:`~repro.core.workspace.SolverWorkspace`)
+    let a caller that solves repeatedly — notably the fault-tolerance
+    :class:`~repro.core.remap.RemapPlanner` re-solving on ever-smaller
+    machines — share segment tensors and DP arenas across solves.  Both
+    apply to the serial exhaustive path; a mismatched cache is ignored.
     """
     if method == "auto":
         method = "exhaustive" if len(chain) <= 12 else "bisect"
+    if cache is not None and (
+        cache.chain is not chain or cache.mem_per_proc_mb != mem_per_proc_mb
+    ):
+        cache = None
     if method == "exhaustive":
         return _exhaustive_clusterings(
             chain, total_procs, mem_per_proc_mb, replication, instance_size_ok,
-            workers=workers,
+            workers=workers, cache=cache, workspace=workspace,
         )
     if method == "bisect":
         return _bisect_mapping(
@@ -174,6 +187,8 @@ def _exhaustive_clusterings(
     replication: bool,
     instance_size_ok=None,
     workers: int | None = None,
+    cache: SegmentCache | None = None,
+    workspace=None,
 ) -> ClusteredResult:
     clusterings = list(all_clusterings(len(chain)))
     outcomes = None
@@ -185,7 +200,9 @@ def _exhaustive_clusterings(
     if outcomes is None:
         # Serial path: one segment cache shared by every clustering, so each
         # distinct (span, neighbour-context) builds its tensors exactly once.
-        cache = SegmentCache(chain, mem_per_proc_mb)
+        # A caller-provided cache extends that sharing across solves.
+        if cache is None:
+            cache = SegmentCache(chain, mem_per_proc_mb)
         outcomes = []
         for clustering in clusterings:
             mchain = cache.module_chain(clustering)
@@ -200,6 +217,7 @@ def _exhaustive_clusterings(
                     allowed_totals=_totals_filter(
                         mchain, total_procs, replication, instance_size_ok
                     ),
+                    workspace=workspace,
                 )
             except InfeasibleError:
                 outcomes.append((True, None))

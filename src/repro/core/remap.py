@@ -1,0 +1,103 @@
+"""DP-driven remapping onto a shrinking machine (fault tolerance).
+
+When a processor failure kills the only instance of a module, the stream
+cannot continue under its current mapping: the mapper must re-solve on the
+surviving processor set.  :class:`RemapPlanner` wraps the clustering +
+assignment solver for exactly that loop:
+
+* one :class:`~repro.core.response.SegmentCache` is shared across every
+  re-solve — segment characteristics depend on the chain, not the machine
+  size, so each distinct segment's cost tensors are built once for the
+  lifetime of the stream, no matter how many times the machine shrinks;
+* plans are memoised per surviving processor count — repeated failures
+  that land on the same survivor count (or an idempotent retry) cost a
+  dictionary lookup;
+* the solver's reusable :class:`~repro.core.workspace.SolverWorkspace`
+  arena is threaded through, so repeated remaps do not re-allocate the DP
+  tensors.
+
+The simulator's :func:`~repro.sim.pipeline.simulate_fault_tolerant` drives
+this planner; it is equally usable standalone for capacity planning
+("what would we deploy at P-1, P-2, ... processors?").
+"""
+
+from __future__ import annotations
+
+from .dp_cluster import ClusteredResult, optimal_mapping
+from .response import UNLIMITED_MEMORY_MB, SegmentCache
+from .task import TaskChain
+from .workspace import SolverWorkspace
+
+__all__ = ["RemapPlanner"]
+
+
+class RemapPlanner:
+    """Memoised re-mapper for a fixed chain on a shrinking machine."""
+
+    def __init__(
+        self,
+        chain: TaskChain,
+        mem_per_proc_mb: float = UNLIMITED_MEMORY_MB,
+        method: str = "auto",
+        replication: bool = True,
+        workspace: SolverWorkspace | None = None,
+    ):
+        self.chain = chain
+        self.mem_per_proc_mb = mem_per_proc_mb
+        self.method = method
+        self.replication = replication
+        self.workspace = workspace
+        self.cache = SegmentCache(chain, mem_per_proc_mb)
+        self._plans: dict[int, ClusteredResult] = {}
+        self.solves = 0
+
+    def plan(self, total_procs: int) -> ClusteredResult:
+        """The optimal mapping for ``total_procs`` surviving processors.
+
+        Memoised; raises :class:`~repro.core.exceptions.InfeasibleError`
+        when the chain no longer fits.
+        """
+        got = self._plans.get(total_procs)
+        if got is None:
+            got = optimal_mapping(
+                self.chain,
+                total_procs,
+                self.mem_per_proc_mb,
+                replication=self.replication,
+                method=self.method,
+                cache=self.cache,
+                workspace=self.workspace,
+            )
+            self._plans[total_procs] = got
+            self.solves += 1
+        return got
+
+    def plan_after_failures(self, machine_procs: int, procs_lost: int) -> ClusteredResult:
+        """Convenience: the plan for ``machine_procs - procs_lost`` survivors."""
+        return self.plan(machine_procs - procs_lost)
+
+    def degradation_curve(self, machine_procs: int, max_failures: int) -> list:
+        """Optimal throughput at 0..max_failures lost processors.
+
+        Entries are ``(surviving_procs, throughput)``; the curve stops early
+        at the first infeasible size.  Useful for capacity planning and the
+        ``fault_study`` experiment.
+        """
+        from .exceptions import InfeasibleError
+
+        curve = []
+        for lost in range(max_failures + 1):
+            p = machine_procs - lost
+            if p < 1:
+                break
+            try:
+                curve.append((p, self.plan(p).throughput))
+            except InfeasibleError:
+                break
+        return curve
+
+    def __repr__(self):
+        return (
+            f"RemapPlanner(chain={self.chain.name!r}, method={self.method!r}, "
+            f"plans={len(self._plans)}, solves={self.solves})"
+        )

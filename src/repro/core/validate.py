@@ -62,14 +62,23 @@ def diagnose(
     mapping: Mapping,
     machine=None,
     mem_per_proc_mb: float | None = None,
+    total_procs: int | None = None,
 ) -> Diagnosis:
-    """Run every check; never raises for mapping problems — reports them."""
+    """Run every check; never raises for mapping problems — reports them.
+
+    ``total_procs`` overrides the machine's processor count — the partial-
+    machine case: vetting a mapping (e.g. a remap candidate) against the
+    processors *surviving* after failures rather than the nominal size.
+    Geometry checks are skipped under an override, since the surviving set
+    no longer forms the preset's full grid.
+    """
     findings: list[Finding] = []
     mem = mem_per_proc_mb
-    total_procs = None
+    partial = total_procs is not None
     if machine is not None:
         mem = machine.mem_per_proc_mb if mem is None else mem
-        total_procs = machine.total_procs
+        if total_procs is None:
+            total_procs = machine.total_procs
     if mem is None:
         mem = float("inf")
 
@@ -111,8 +120,9 @@ def diagnose(
         except (InfeasibleError, InvalidMappingError) as exc:
             findings.append(Finding(Severity.ERROR, "evaluate", str(exc)))
 
-    # Machine geometry.
-    if machine is not None and perf is not None:
+    # Machine geometry (skipped for partial machines: survivor sets are
+    # not the preset's full grid).
+    if machine is not None and perf is not None and not partial:
         from ..machine.feasibility import check_feasible
 
         report = check_feasible(mapping, machine)

@@ -1,9 +1,16 @@
 """Discrete-event pipeline simulator — the "measured" substrate standing in
-for the paper's iWarp testbed."""
+for the paper's iWarp testbed, plus the fault-injection layer."""
 
 from .engine import Simulator
+from .faults import (
+    EpochStats,
+    FaultEvent,
+    FaultModel,
+    ProcessorFailure,
+    RemapRecord,
+)
 from .noise import NoiseModel
-from .pipeline import SimulationResult, simulate
+from .pipeline import SimulationResult, simulate, simulate_fault_tolerant
 from .svg import trace_to_svg, write_trace_svg
 from .trace import TraceEvent, TraceLog, render_gantt
 
@@ -12,6 +19,12 @@ __all__ = [
     "NoiseModel",
     "SimulationResult",
     "simulate",
+    "simulate_fault_tolerant",
+    "FaultModel",
+    "FaultEvent",
+    "ProcessorFailure",
+    "RemapRecord",
+    "EpochStats",
     "TraceEvent",
     "TraceLog",
     "render_gantt",

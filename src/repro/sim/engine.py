@@ -24,6 +24,7 @@ class Simulator:
         self._seq = 0
         self.now = 0.0
         self.events_processed = 0
+        self._stopped = False
 
     def schedule(self, delay: float, callback: Callable[[], None]) -> None:
         """Schedule ``callback`` to run ``delay`` seconds from now."""
@@ -36,14 +37,25 @@ class Simulator:
         """Schedule ``callback`` at an absolute time (>= now)."""
         self.schedule(time - self.now, callback)
 
+    def stop(self) -> None:
+        """Halt the run loop after the current event.
+
+        Pending events stay queued; a subsequent :meth:`run` resumes them.
+        Used by the fault-tolerant pipeline to freeze a stream the moment a
+        remap becomes necessary.
+        """
+        self._stopped = True
+
     def run(self, until: float | None = None, max_events: int | None = None) -> float:
         """Process events in time order.
 
-        Stops when the queue empties, the clock passes ``until``, or
-        ``max_events`` have run.  Returns the final clock value.
+        Stops when the queue empties, the clock passes ``until``,
+        ``max_events`` have run, or a callback invokes :meth:`stop`.
+        Returns the final clock value.
         """
         processed = 0
-        while self._queue:
+        self._stopped = False
+        while self._queue and not self._stopped:
             if until is not None and self._queue[0][0] > until:
                 self.now = until
                 break

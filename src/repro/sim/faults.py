@@ -1,0 +1,214 @@
+"""Failure injection for the pipeline simulator.
+
+The paper's model (§2.1) assumes a fixed, healthy machine for the lifetime
+of the stream.  A production pipeline does not get that luxury: processors
+fail mid-stream and links drop packets.  Following the reliability-aware
+pipeline-mapping literature (Benoit et al., arXiv:0706.4009; bi-criteria
+mappings, arXiv:0801.1772) this module adds a *deterministic, seeded*
+fault source the simulator consults, so every fault scenario is exactly
+reproducible:
+
+* **processor failures** — scripted (:class:`ProcessorFailure`) or drawn
+  from an exponential hazard (``failure_rate``).  A failure takes down one
+  processor and with it the module *instance* that owned it; the instance's
+  surviving processors rejoin the free pool (they matter again at remap
+  time).
+* **transient communication faults** — with probability ``comm_fault_prob``
+  a transfer attempt fails and is retried after ``comm_retry_backoff``
+  seconds (geometric retries, capped at ``max_comm_retries``; transient
+  faults delay a transfer but never kill it).
+
+The model is *stateful across remap segments*: scripted failures fire
+exactly once, the RNG stream continues, and ``procs_lost`` accumulates so
+the remap planner always sees the true surviving processor count.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Sequence
+
+import numpy as np
+
+__all__ = [
+    "ProcessorFailure",
+    "FaultEvent",
+    "RemapRecord",
+    "EpochStats",
+    "FaultModel",
+]
+
+
+@dataclass(frozen=True)
+class ProcessorFailure:
+    """A scripted processor failure.
+
+    ``module``/``instance`` address a module instance of the mapping that is
+    live when the failure fires; both are clamped (module to the last
+    module, instance modulo the replica count) so scripts stay meaningful
+    across remaps.  ``module=None`` picks a seeded-random live victim.
+    """
+
+    time: float
+    module: int | None = None
+    instance: int = 0
+
+    def __post_init__(self):
+        if self.time < 0:
+            raise ValueError("failure time must be non-negative")
+
+
+@dataclass(frozen=True)
+class FaultEvent:
+    """One delivered fault, as recorded in :class:`SimulationResult`."""
+
+    kind: str          # "proc_fail" | "comm_transient"
+    time: float
+    module: int
+    instance: int
+    detail: str = ""
+
+
+@dataclass(frozen=True)
+class RemapRecord:
+    """One DP-driven remap of the stream onto the surviving processors."""
+
+    time: float                 # when the fatal failure struck
+    resume_time: float          # when the remapped pipeline restarted
+    failed_module: int
+    surviving_procs: int
+    old_mapping: object         # Mapping
+    new_mapping: object         # Mapping
+    predicted_throughput: float
+    datasets_replayed: int
+
+    @property
+    def downtime(self) -> float:
+        return self.resume_time - self.time
+
+
+@dataclass(frozen=True)
+class EpochStats:
+    """Throughput accounting for one inter-fault window of the stream."""
+
+    start: float
+    end: float
+    completed: int
+    throughput: float           # completed / (end - start), 0 for empty windows
+    label: str = "healthy"      # "healthy" | "degraded" | "remapped"
+
+
+class FaultModel:
+    """Deterministic fault source for the simulator.
+
+    Parameters
+    ----------
+    seed:
+        RNG seed; identical seeds give identical fault streams.
+    failures:
+        Scripted :class:`ProcessorFailure` events (each fires once).
+    failure_rate:
+        Machine-wide processor-failure hazard in failures/second; 0 disables
+        random failures.  Victims are seeded-random live instances.
+    comm_fault_prob:
+        Per-attempt probability that a transfer suffers a transient fault.
+    comm_retry_backoff:
+        Seconds charged per failed attempt before the retransmission.
+    max_comm_retries:
+        Cap on retries per transfer (the final attempt always succeeds).
+    """
+
+    def __init__(
+        self,
+        seed: int = 0,
+        failures: Sequence[ProcessorFailure] = (),
+        failure_rate: float = 0.0,
+        comm_fault_prob: float = 0.0,
+        comm_retry_backoff: float = 0.01,
+        max_comm_retries: int = 3,
+    ):
+        if failure_rate < 0:
+            raise ValueError("failure_rate must be non-negative")
+        if not 0.0 <= comm_fault_prob < 1.0:
+            raise ValueError("comm_fault_prob must be in [0, 1)")
+        if comm_retry_backoff < 0 or max_comm_retries < 0:
+            raise ValueError("retry parameters must be non-negative")
+        self.seed = seed
+        self.failures = tuple(failures)
+        self.failure_rate = failure_rate
+        self.comm_fault_prob = comm_fault_prob
+        self.comm_retry_backoff = comm_retry_backoff
+        self.max_comm_retries = max_comm_retries
+        self._rng = np.random.default_rng(seed)
+        self._delivered: set[int] = set()
+        self.procs_lost = 0
+
+    # -- lifecycle ---------------------------------------------------------
+    @property
+    def active(self) -> bool:
+        """Does this model ever inject anything?"""
+        return bool(self.failures) or self.failure_rate > 0 or self.comm_fault_prob > 0
+
+    def clone(self) -> "FaultModel":
+        """A fresh model with identical configuration and a reset state."""
+        return FaultModel(
+            seed=self.seed,
+            failures=self.failures,
+            failure_rate=self.failure_rate,
+            comm_fault_prob=self.comm_fault_prob,
+            comm_retry_backoff=self.comm_retry_backoff,
+            max_comm_retries=self.max_comm_retries,
+        )
+
+    @staticmethod
+    def silent() -> "FaultModel":
+        """A model that injects nothing (healthy-machine baseline)."""
+        return FaultModel(seed=0)
+
+    # -- scripted failures -------------------------------------------------
+    def pending_failures(self) -> list[tuple[int, ProcessorFailure]]:
+        """Undelivered scripted failures, for scheduling at ``max(t, now)``.
+
+        Failures whose nominal time fell inside a remap-downtime window are
+        delivered the moment the stream resumes.
+        """
+        return [
+            (i, f) for i, f in enumerate(self.failures) if i not in self._delivered
+        ]
+
+    def mark_delivered(self, index: int) -> None:
+        self._delivered.add(index)
+        self.procs_lost += 1
+
+    def record_random_failure(self) -> None:
+        self.procs_lost += 1
+
+    # -- seeded draws (consumed in event order, hence deterministic) -------
+    def next_random_failure_delay(self) -> float | None:
+        """Exponential inter-arrival delay, or None when disabled."""
+        if self.failure_rate <= 0:
+            return None
+        return float(self._rng.exponential(1.0 / self.failure_rate))
+
+    def choose_victim(self, candidates: Sequence[tuple[int, int]]) -> tuple[int, int]:
+        """Pick one live ``(module, instance)`` pair, seeded-random."""
+        idx = int(self._rng.integers(0, len(candidates)))
+        return candidates[idx]
+
+    def transfer_attempts(self) -> int:
+        """Number of attempts for one transfer (1 = no transient fault)."""
+        if self.comm_fault_prob <= 0:
+            return 1
+        attempts = 1
+        while (
+            attempts <= self.max_comm_retries
+            and float(self._rng.random()) < self.comm_fault_prob
+        ):
+            attempts += 1
+        return attempts
+
+    def __repr__(self):
+        return (
+            f"FaultModel(seed={self.seed}, scripted={len(self.failures)}, "
+            f"rate={self.failure_rate:g}/s, comm_p={self.comm_fault_prob:g})"
+        )

@@ -18,10 +18,33 @@ Durations are drawn from the chain's cost models at the mapping's
 per-instance processor counts, so with noise disabled the measured
 steady-state throughput converges exactly to the analytic
 ``1 / max_i(f_i / r_i)`` — a property the test suite checks.
+
+Fault tolerance
+---------------
+A seeded :class:`~repro.sim.faults.FaultModel` injects processor failures
+and transient communication faults (see ``docs/fault_tolerance.md``):
+
+* a **transient communication fault** retries the transfer after a backoff;
+  both rendezvous endpoints stay busy through the wasted attempts;
+* a **processor failure** kills one module instance.  A replicated module
+  *degrades*: the dead instance's pending data sets are redistributed over
+  the survivors (keeping every queue ascending — the ordering invariant
+  that makes the blocking rendezvous protocol deadlock-free); a data set no
+  survivor can legally absorb is dropped and replayed end to end after the
+  stream drains.  Module inputs/outputs are mirrored across instances, so a
+  survivor can restart a dead peer's in-progress data set without
+  re-receiving it;
+* when a module loses its *last* instance the mapping itself is dead:
+  the engine freezes and :func:`simulate_fault_tolerant` re-runs the DP
+  solver on the surviving processors (via
+  :class:`~repro.core.remap.RemapPlanner`, reusing the solver's segment
+  cache and workspace), charges a configurable remap latency to the
+  stream, and replays the unfinished data sets under the new mapping.
 """
 
 from __future__ import annotations
 
+from bisect import insort
 from dataclasses import dataclass, field
 
 import numpy as np
@@ -30,10 +53,11 @@ from ..core.exceptions import SimulationError
 from ..core.mapping import Mapping
 from ..core.task import TaskChain
 from .engine import Simulator
+from .faults import EpochStats, FaultEvent, FaultModel, RemapRecord
 from .noise import NoiseModel
 from .trace import TraceEvent, TraceLog
 
-__all__ = ["SimulationResult", "simulate"]
+__all__ = ["SimulationResult", "simulate", "simulate_fault_tolerant"]
 
 
 @dataclass
@@ -50,6 +74,12 @@ class SimulationResult:
     events_processed: int
     busy_fractions: dict = None        # (module, instance) -> busy time / makespan
     trace: TraceLog | None = None
+    # -- fault-tolerance accounting (empty/trivial for healthy runs) -------
+    failures: list = field(default_factory=list)   # FaultEvent records
+    remaps: list = field(default_factory=list)     # RemapRecord per remap
+    epochs: list = field(default_factory=list)     # EpochStats per window
+    availability: float = 1.0          # 1 - remap downtime / makespan
+    final_mapping: Mapping | None = None
 
     def module_utilization(self, module: int) -> float:
         """Mean busy fraction across a module's instances."""
@@ -62,10 +92,25 @@ class SimulationResult:
         modules = sorted({m for m, _ in self.busy_fractions})
         return max(modules, key=self.module_utilization)
 
+    @property
+    def processor_failures(self) -> list:
+        return [f for f in self.failures if f.kind == "proc_fail"]
+
+    @property
+    def comm_faults(self) -> list:
+        return [f for f in self.failures if f.kind == "comm_transient"]
+
     def __repr__(self):
+        extra = ""
+        if self.failures or self.remaps:
+            extra = (
+                f", failures={len(self.processor_failures)}"
+                f", remaps={len(self.remaps)}"
+                f", availability={self.availability:.4f}"
+            )
         return (
             f"SimulationResult(throughput={self.throughput:.4g}/s, "
-            f"latency={self.mean_latency:.4g}s, n={self.n_datasets})"
+            f"latency={self.mean_latency:.4g}s, n={self.n_datasets}{extra})"
         )
 
 
@@ -79,45 +124,75 @@ class _Rendezvous:
 
 
 class _Worker:
-    """One module instance: a sequential process over its data sets."""
+    """One module instance: a sequential process over its data sets.
 
-    def __init__(self, run: "_Run", module: int, instance: int):
+    ``queue`` holds ``(dataset, stage)`` work items in ascending dataset
+    order; ``stage`` is where processing (re)starts — ``"recv"`` for a
+    fresh data set, ``"exec"``/``"send"`` for work inherited from a failed
+    peer whose receive/execution already happened (inputs and outputs are
+    mirrored across instances).  ``current`` tracks the in-flight item's
+    fine-grained state: ``wait_recv``/``xfer_recv``/``exec``/``wait_send``/
+    ``xfer_send``.  The ascending-queue invariant is what keeps the
+    blocking rendezvous protocol deadlock-free under redistribution.
+    """
+
+    __slots__ = ("run", "module", "instance", "queue", "alive", "idle",
+                 "current", "high")
+
+    def __init__(self, run: "_Run", module: int, instance: int, datasets):
         self.run = run
         self.module = module
         self.instance = instance
-        spec = run.mapping[module]
-        self.datasets = list(range(instance, run.n, spec.replicas))
-        self.cursor = 0
+        first = "exec" if module == 0 else "recv"
+        self.queue: list[tuple[int, str]] = [(d, first) for d in datasets]
+        self.alive = True
+        self.idle = True
+        self.current: list | None = None  # [dataset, stage] while busy
+        self.high = -1                    # largest dataset ever started
 
     def start(self):
-        self._next_dataset()
+        self._pump()
 
     # -- per-dataset flow -------------------------------------------------
-    def _next_dataset(self):
-        if self.cursor >= len(self.datasets):
+    def _pump(self):
+        if not self.alive:
             return
-        d = self.datasets[self.cursor]
-        self.cursor += 1
-        if self.module == 0:
-            self.run.injections[d] = self.run.sim.now
-            self._execute(d)
-        else:
+        if not self.queue:
+            self.idle = True
+            self.current = None
+            return
+        self.idle = False
+        d, stage = self.queue.pop(0)
+        if d > self.high:
+            self.high = d
+        if stage == "recv":
+            self.current = [d, "wait_recv"]
             self.run.rendezvous_arrive(
                 edge=self.module - 1,
                 dataset=d,
                 worker=self,
-                on_done=lambda d=d: self._execute(d),
+                on_done=lambda d=d: self._begin_exec(d),
             )
+        elif stage == "exec":
+            self._begin_exec(d)
+        else:  # "send": execution already done on a failed peer
+            self._after_exec(d)
 
-    def _execute(self, d: int):
+    def _begin_exec(self, d: int):
+        if not self.alive:
+            return
         run = self.run
-        spec = run.mapping[self.module]
+        self.current = [d, "exec"]
+        if self.module == 0:
+            run.injections[d] = run.sim.now
         phases = run.phases[self.module]  # [(kind, label, base_duration)]
         sim = run.sim
 
         def do_phase(idx: int):
+            if not self.alive:
+                return
             if idx == len(phases):
-                self._after_execute(d)
+                self._after_exec(d)
                 return
             kind, label, base = phases[idx]
             dur = base * run.noise.factor()
@@ -132,37 +207,75 @@ class _Worker:
 
         do_phase(0)
 
-    def _after_execute(self, d: int):
+    def _after_exec(self, d: int):
+        if not self.alive:
+            return
         run = self.run
         if self.module == len(run.mapping) - 1:
-            run.completions[d] = run.sim.now
-            self._next_dataset()
+            run.note_completion(d)
+            self._pump()
         else:
+            self.current = [d, "wait_send"]
             run.rendezvous_arrive(
                 edge=self.module,
                 dataset=d,
                 worker=self,
-                on_done=self._next_dataset,
+                on_done=self._pump,
             )
 
 
 class _Run:
-    """All shared state of one simulation."""
+    """All shared state of one simulation segment."""
 
-    def __init__(self, chain: TaskChain, mapping: Mapping, n: int,
+    def __init__(self, chain: TaskChain, mapping: Mapping, datasets,
                  noise: NoiseModel, trace: TraceLog | None,
+                 completions: np.ndarray, injections: np.ndarray,
+                 faults: FaultModel | None = None,
+                 dead: set | None = None,
+                 start_time: float = 0.0,
+                 busy_time: dict | None = None,
                  placements=None, hop_penalty: float = 0.0):
         self.chain = chain
         self.mapping = mapping
-        self.n = n
         self.noise = noise
         self.trace = trace
         self.sim = Simulator()
-        self.completions = np.full(n, np.nan)
-        self.injections = np.full(n, np.nan)
+        self.sim.now = start_time
+        self.completions = completions
+        self.injections = injections
+        self.faults = faults
         self.active_transfers = 0
-        self.busy_time: dict[tuple[int, int], float] = {}
+        self.busy_time: dict[tuple[int, int], float] = (
+            busy_time if busy_time is not None else {}
+        )
         self._rendezvous: dict[tuple[int, int], _Rendezvous] = {}
+        self.left = len(datasets)          # completions outstanding
+        self.dropped: set[int] = set()     # datasets needing end-to-end replay
+        self.faults_injected: list[FaultEvent] = []
+        self.remap_needed: tuple | None = None
+        self._rr: dict[int, int] = {}      # round-robin reassignment cursors
+
+        # Module instances; instances listed in ``dead`` start dead (they
+        # failed in an earlier segment of the same degraded mapping) and
+        # receive no work.
+        dead = dead or set()
+        self.module_workers: list[list[_Worker]] = []
+        self.workers: list[_Worker] = []
+        for i, m in enumerate(mapping.modules):
+            live = [c for c in range(m.replicas) if (i, c) not in dead]
+            if not live:
+                self.remap_needed = (start_time, i, -1)
+                live = list(range(m.replicas))  # moot: the run never starts
+            buckets: dict[int, list[int]] = {c: [] for c in range(m.replicas)}
+            for j, d in enumerate(datasets):
+                buckets[live[j % len(live)]].append(d)
+            group = [_Worker(self, i, c, buckets[c]) for c in range(m.replicas)]
+            for w in group:
+                if (i, w.instance) in dead:
+                    w.alive = False
+            self.module_workers.append(group)
+            self.workers.extend(group)
+        self.workers_by_mi = {(w.module, w.instance): w for w in self.workers}
 
         # Precompute per-module execution phases and per-edge base durations.
         self.phases: list[list[tuple[str, str, float]]] = []
@@ -201,6 +314,16 @@ class _Run:
                         hops = abs(ar - br) + abs(ac - bc)
                         self.hop_factor[(e, si, ri)] = 1.0 + hop_penalty * hops
 
+    # -- stream bookkeeping ------------------------------------------------
+    def note_completion(self, d: int) -> None:
+        self.completions[d] = self.sim.now
+        self.left -= 1
+
+    def start(self) -> None:
+        for w in self.workers:
+            w.start()
+        self._schedule_faults()
+
     # -- rendezvous communication -----------------------------------------
     def rendezvous_arrive(self, edge: int, dataset: int, worker: _Worker, on_done):
         key = (edge, dataset)
@@ -217,28 +340,225 @@ class _Run:
             dur *= self.hop_factor.get(
                 (edge, sender.instance, receiver.instance), 1.0
             )
+        # Transient communication faults: each failed attempt burns a full
+        # transfer duration plus the retry backoff before the retransmission
+        # succeeds; both endpoints stay busy throughout.
+        wasted = 0.0
+        if self.faults is not None:
+            retries = self.faults.transfer_attempts() - 1
+            if retries > 0:
+                wasted = retries * (dur + self.faults.comm_retry_backoff)
+                recv = wb if wa.module == edge else wa
+                self.faults_injected.append(
+                    FaultEvent(
+                        "comm_transient", self.sim.now, recv.module,
+                        recv.instance,
+                        f"{retries} retries on {self.edge_label[edge]}",
+                    )
+                )
+        total = wasted + dur
         self.active_transfers += 1
         for w in (wa, wb):
-            key = (w.module, w.instance)
-            self.busy_time[key] = self.busy_time.get(key, 0.0) + dur
+            key2 = (w.module, w.instance)
+            self.busy_time[key2] = self.busy_time.get(key2, 0.0) + total
+            if w.current is not None and w.current[0] == dataset:
+                w.current[1] = "xfer_send" if w.module == edge else "xfer_recv"
         t0 = self.sim.now
         if self.trace is not None:
             label = self.edge_label[edge]
+            if wasted > 0.0:
+                for w in (wa, wb):
+                    self.trace.record(
+                        TraceEvent(w.module, w.instance, "fault", label,
+                                   dataset, t0, t0 + wasted)
+                    )
             for w in (wa, wb):
                 kind = "send" if w.module == edge else "recv"
                 self.trace.record(
-                    TraceEvent(w.module, w.instance, kind, label, dataset, t0, t0 + dur)
+                    TraceEvent(w.module, w.instance, kind, label, dataset,
+                               t0 + wasted, t0 + total)
                 )
 
         def complete():
             self.active_transfers -= 1
-            cb_a()
-            cb_b()
+            for w, cb in ((wa, cb_a), (wb, cb_b)):
+                if w.alive:
+                    cb()
+                elif w.module == edge + 1:
+                    # The receiver died mid-transfer.  The data arrived but
+                    # nobody owns it: hand the dataset to a surviving
+                    # instance, or drop it for end-of-stream replay.  (A
+                    # dead *sender* needs nothing — downstream has the data.)
+                    self.reassign_or_drop(edge + 1, dataset, "exec")
 
-        self.sim.schedule(dur, complete)
+        self.sim.schedule(total, complete)
+
+    def _withdraw(self, edge: int, dataset: int, worker: _Worker) -> None:
+        """Remove a party from a not-yet-paired rendezvous."""
+        key = (edge, dataset)
+        rv = self._rendezvous.get(key)
+        if rv is None:
+            return
+        rv.parties = [(w, cb) for (w, cb) in rv.parties if w is not worker]
+        if not rv.parties:
+            del self._rendezvous[key]
+
+    # -- failure semantics --------------------------------------------------
+    def kill_instance(self, module: int, instance: int) -> bool:
+        """Deliver a processor failure to one module instance.
+
+        Replicated module: redistribute the dead instance's work over the
+        survivors (degrade).  Last instance: freeze the engine and request a
+        remap.  Returns False when the addressed instance is already dead.
+        """
+        w = self.workers_by_mi.get((module, instance))
+        if w is None or not w.alive:
+            return False
+        t = self.sim.now
+        w.alive = False
+        self.faults_injected.append(FaultEvent("proc_fail", t, module, instance))
+        if self.trace is not None:
+            self.trace.record(
+                TraceEvent(module, instance, "fail", "processor-failure", -1, t, t)
+            )
+        survivors = [x for x in self.module_workers[module] if x.alive]
+        items = list(w.queue)
+        w.queue.clear()
+        if w.current is not None:
+            d, stage = w.current
+            if stage == "wait_recv":
+                self._withdraw(module - 1, d, w)
+                items.insert(0, (d, "recv"))
+            elif stage == "exec":
+                items.insert(0, (d, "exec"))
+            elif stage == "wait_send":
+                self._withdraw(module, d, w)
+                items.insert(0, (d, "send"))
+            # xfer_recv / xfer_send resolve when the in-flight transfer
+            # completes — see complete() in rendezvous_arrive.
+            w.current = None
+        if not survivors:
+            # Unreplicated (or fully dead) module: the stream cannot continue
+            # under this mapping.  Freeze and hand over to the orchestrator
+            # for a DP-driven remap.
+            self.remap_needed = (t, module, instance)
+            self.sim.stop()
+            return True
+        for d, stage in items:
+            self.reassign_or_drop(module, d, stage)
+        return True
+
+    def reassign_or_drop(self, module: int, dataset: int, stage: str) -> None:
+        """Hand an orphaned dataset to a surviving instance of ``module``.
+
+        Only a survivor that has not yet advanced past ``dataset`` may take
+        it — inserting behind a larger in-flight dataset would break the
+        ascending-queue invariant and can deadlock the blocking rendezvous
+        protocol (the downstream owner of the smaller dataset would wait on
+        it while its producer is blocked sending the larger one).  When no
+        survivor is eligible the dataset is dropped from this pass and
+        replayed end to end after the stream drains.
+        """
+        survivors = [x for x in self.module_workers[module] if x.alive]
+        eligible = [x for x in survivors if x.high < dataset]
+        if not eligible:
+            self.drop_dataset(dataset, module)
+            return
+        counter = self._rr.get(module, 0)
+        self._rr[module] = counter + 1
+        w = eligible[counter % len(eligible)]
+        insort(w.queue, (dataset, stage), key=lambda item: item[0])
+        if w.idle:
+            w._pump()
+
+    def drop_dataset(self, dataset: int, from_module: int) -> None:
+        """Remove a dataset from the current pass (end-of-stream replay).
+
+        Downstream owners must stop expecting it: nobody will produce it on
+        this pass, and a blocked receiver waiting on the dropped dataset
+        would deadlock the stream.
+        """
+        self.dropped.add(dataset)
+        self.left -= 1
+        for m in range(from_module + 1, len(self.mapping)):
+            for x in self.module_workers[m]:
+                if not x.alive:
+                    continue
+                x.queue = [it for it in x.queue if it[0] != dataset]
+                if (
+                    x.current is not None
+                    and x.current[0] == dataset
+                    and x.current[1] == "wait_recv"
+                ):
+                    self._withdraw(m - 1, dataset, x)
+                    x.current = None
+                    x._pump()
+
+    # -- fault scheduling ---------------------------------------------------
+    def _schedule_faults(self) -> None:
+        if self.faults is None:
+            return
+        for idx, f in self.faults.pending_failures():
+            t = max(f.time, self.sim.now)
+
+            def fire(idx=idx, f=f):
+                if self.left <= 0:
+                    return  # stream already drained; leave undelivered
+                self.faults.mark_delivered(idx)
+                victim = self._resolve_victim(f)
+                if victim is not None:
+                    self.kill_instance(*victim)
+
+            self.sim.schedule_at(t, fire)
+        delay = self.faults.next_random_failure_delay()
+        if delay is not None:
+            self.sim.schedule(delay, self._random_failure)
+
+    def _resolve_victim(self, f) -> tuple[int, int] | None:
+        alive = [(x.module, x.instance) for x in self.workers if x.alive]
+        if not alive:
+            return None
+        if f.module is None:
+            return self.faults.choose_victim(alive)
+        m = min(f.module, len(self.mapping) - 1)
+        candidates = [mi for mi in alive if mi[0] == m]
+        if not candidates:
+            return self.faults.choose_victim(alive)
+        inst = f.instance % self.mapping[m].replicas
+        for mi in candidates:
+            if mi[1] == inst:
+                return mi
+        return candidates[0]
+
+    def _random_failure(self) -> None:
+        if self.faults is None or self.left <= 0:
+            return
+        alive = [(x.module, x.instance) for x in self.workers if x.alive]
+        if alive:
+            m, i = self.faults.choose_victim(alive)
+            self.faults.record_random_failure()
+            self.kill_instance(m, i)
+        if self.remap_needed is None and self.left > 0:
+            delay = self.faults.next_random_failure_delay()
+            if delay is not None:
+                self.sim.schedule(delay, self._random_failure)
 
 
-def _measure_throughput(run: _Run, mapping: Mapping, n: int, warmup: int) -> float:
+def _pooled_throughput(completions: np.ndarray, warmup: int) -> float:
+    """Endpoint throughput estimate over the pooled completion stream."""
+    ordered = np.sort(completions[np.isfinite(completions)])
+    n = len(ordered)
+    if n < 2 or warmup >= n:
+        raise SimulationError("degenerate steady-state window")
+    t0 = ordered[warmup - 1] if warmup >= 1 else ordered[0]
+    t1 = ordered[-1]
+    if t1 <= t0:
+        raise SimulationError("degenerate steady-state window")
+    return float((n - warmup) / (t1 - t0))
+
+
+def _measure_throughput(completions: np.ndarray, mapping: Mapping, n: int,
+                        warmup: int) -> float:
     """Steady-state throughput estimate.
 
     Replicated final-module instances complete in interleaved waves; when
@@ -252,7 +572,7 @@ def _measure_throughput(run: _Run, mapping: Mapping, n: int, warmup: int) -> flo
     total = 0.0
     ok = True
     for c in range(r_last):
-        times = run.completions[c::r_last]
+        times = completions[c::r_last]
         # Drop this instance's share of the global warmup.
         skip = max(1, warmup // r_last)
         steady = times[skip:]
@@ -266,12 +586,14 @@ def _measure_throughput(run: _Run, mapping: Mapping, n: int, warmup: int) -> flo
         total += (len(steady) - 1) / span
     if ok and total > 0:
         return float(total)
-    ordered = np.sort(run.completions)
-    t0 = ordered[warmup - 1]
-    t1 = ordered[-1]
-    if t1 <= t0:
-        raise SimulationError("degenerate steady-state window")
-    return float((n - warmup) / (t1 - t0))
+    return _pooled_throughput(completions, warmup)
+
+
+def _default_warmup(n_datasets: int, n_modules: int, warmup_fraction: float) -> int:
+    return min(
+        n_datasets - 2,
+        max(1, int(n_datasets * warmup_fraction), 2 * n_modules),
+    )
 
 
 def simulate(
@@ -283,6 +605,7 @@ def simulate(
     warmup_fraction: float = 0.2,
     placements=None,
     hop_penalty: float = 0.0,
+    faults: FaultModel | None = None,
 ) -> SimulationResult:
     """Run the pipeline on ``n_datasets`` inputs and measure its behaviour.
 
@@ -296,6 +619,12 @@ def simulate(
     ``1 + hop_penalty * manhattan_hops`` between the instance rectangles.
     The paper found locations to be second order (§2.1); the
     ``bench_placement`` experiment quantifies that with this knob.
+
+    ``faults`` injects transient communication faults and processor
+    failures that replicated modules absorb by degrading.  A failure this
+    call cannot absorb — a module losing its last instance, or a data set
+    that needs an end-of-stream replay — raises :class:`SimulationError`;
+    use :func:`simulate_fault_tolerant` for those scenarios.
     """
     if n_datasets < 2:
         raise SimulationError("need at least 2 data sets to measure throughput")
@@ -305,22 +634,36 @@ def simulate(
     noise = noise or NoiseModel.silent()
     trace = TraceLog() if collect_trace else None
 
-    run = _Run(chain, mapping, n_datasets, noise, trace,
+    completions = np.full(n_datasets, np.nan)
+    injections = np.full(n_datasets, np.nan)
+    run = _Run(chain, mapping, list(range(n_datasets)), noise, trace,
+               completions=completions, injections=injections, faults=faults,
                placements=placements, hop_penalty=hop_penalty)
-    workers = [
-        _Worker(run, i, c)
-        for i, m in enumerate(mapping.modules)
-        for c in range(m.replicas)
-    ]
-    for w in workers:
-        w.start()
+    if run.remap_needed is not None:
+        raise SimulationError("mapping has a module with no live instance")
+    run.start()
     run.sim.run()
 
+    if run.remap_needed is not None:
+        t, module, _ = run.remap_needed
+        raise SimulationError(
+            f"module {module} lost its only instance at t={t:.4g}; use "
+            f"simulate_fault_tolerant() for DP-driven remapping"
+        )
+    if run.dropped:
+        raise SimulationError(
+            f"{len(run.dropped)} data sets were dropped during degradation "
+            f"and need an end-of-stream replay; use simulate_fault_tolerant()"
+        )
     if np.isnan(run.completions).any():
         raise SimulationError("simulation deadlocked: some data sets never completed")
 
-    warmup = min(n_datasets - 2, max(1, int(n_datasets * warmup_fraction), 2 * len(mapping)))
-    throughput = _measure_throughput(run, mapping, n_datasets, warmup)
+    warmup = _default_warmup(n_datasets, len(mapping), warmup_fraction)
+    if any(f.kind == "proc_fail" for f in run.faults_injected):
+        # Degraded runs lose per-instance periodicity: pooled estimate.
+        throughput = _pooled_throughput(run.completions, warmup)
+    else:
+        throughput = _measure_throughput(run.completions, mapping, n_datasets, warmup)
     latencies = run.completions[warmup:] - run.injections[warmup:]
     makespan = float(run.completions.max())
     busy_fractions = {
@@ -338,4 +681,203 @@ def simulate(
         events_processed=run.sim.events_processed,
         busy_fractions=busy_fractions,
         trace=trace,
+        failures=run.faults_injected,
+        epochs=_epochs_from(run.completions, run.faults_injected, [], makespan),
+        final_mapping=mapping,
+    )
+
+
+def _epochs_from(completions: np.ndarray, failures: list, remaps: list,
+                 makespan: float) -> list[EpochStats]:
+    """Post-hoc degraded-throughput accounting: split the stream at every
+    processor failure and remap resume, and rate each window."""
+    marks: list[tuple[float, str]] = []
+    for f in failures:
+        if f.kind == "proc_fail":
+            marks.append((f.time, "degraded"))
+    for r in remaps:
+        marks.append((r.resume_time, "remapped"))
+    marks.sort()
+    bounds = [0.0] + [t for t, _ in marks] + [makespan]
+    labels = ["healthy"] + [lab for _, lab in marks]
+    done = np.sort(completions[np.isfinite(completions)])
+    epochs = []
+    for i in range(len(bounds) - 1):
+        a, b = bounds[i], bounds[i + 1]
+        if b <= a:
+            continue
+        completed = int(np.searchsorted(done, b, side="right")
+                        - np.searchsorted(done, a, side="right"))
+        epochs.append(
+            EpochStats(a, b, completed, completed / (b - a), labels[i])
+        )
+    return epochs
+
+
+def simulate_fault_tolerant(
+    chain: TaskChain,
+    mapping: Mapping,
+    n_datasets: int = 200,
+    faults: FaultModel | None = None,
+    machine_procs: int | None = None,
+    noise: NoiseModel | None = None,
+    collect_trace: bool = False,
+    warmup_fraction: float = 0.2,
+    remap_latency: float = 0.05,
+    mem_per_proc_mb: float = float("inf"),
+    planner=None,
+    method: str = "auto",
+    max_segments: int = 32,
+) -> SimulationResult:
+    """Run a stream to completion across failures, degradation, and remaps.
+
+    The stream executes in *segments*.  Within a segment, replicated
+    modules absorb failures by degrading; a segment ends when either the
+    stream drains, some data sets were dropped (they replay in a follow-up
+    segment under the same degraded mapping), or a module lost its last
+    instance — in which case the DP solver re-runs on the surviving
+    ``machine_procs - procs_lost`` processors (one processor is lost per
+    failure; the dead instance's other processors rejoin the pool),
+    ``remap_latency`` seconds of downtime are charged, and the unfinished
+    data sets replay under the new mapping.
+
+    ``planner`` (a :class:`~repro.core.remap.RemapPlanner`) carries the
+    solver's segment cache across remaps and memoises plans per surviving
+    processor count; one is created on demand.  Raises
+    :class:`SimulationError` when the chain no longer fits on the survivors
+    or the stream fails to drain within ``max_segments`` segments.
+    """
+    if n_datasets < 2:
+        raise SimulationError("need at least 2 data sets to measure throughput")
+    mapping.validate(chain)
+    noise = noise or NoiseModel.silent()
+    faults = faults if faults is not None else FaultModel.silent()
+    machine_procs = machine_procs if machine_procs is not None else mapping.total_procs
+    if mapping.total_procs > machine_procs:
+        raise SimulationError(
+            f"mapping uses {mapping.total_procs} processors, machine has "
+            f"{machine_procs}"
+        )
+    trace = TraceLog() if collect_trace else None
+
+    completions = np.full(n_datasets, np.nan)
+    injections = np.full(n_datasets, np.nan)
+    busy_time: dict[tuple[int, int], float] = {}
+    remaining = list(range(n_datasets))
+    current = mapping
+    dead: set[tuple[int, int]] = set()
+    t0 = 0.0
+    failures: list[FaultEvent] = []
+    remaps: list[RemapRecord] = []
+    events = 0
+    segments = 0
+
+    while remaining:
+        if segments >= max_segments:
+            raise SimulationError(
+                f"stream did not drain within {max_segments} segments "
+                f"({len(remaining)} data sets outstanding)"
+            )
+        segments += 1
+        run = _Run(chain, current, remaining, noise, trace,
+                   completions=completions, injections=injections,
+                   faults=faults, dead=dead, start_time=t0,
+                   busy_time=busy_time)
+        if run.remap_needed is None:
+            run.start()
+            run.sim.run()
+            events += run.sim.events_processed
+            failures.extend(run.faults_injected)
+        for f in run.faults_injected:
+            if f.kind == "proc_fail":
+                dead.add((f.module, f.instance))
+
+        if run.remap_needed is not None:
+            t_fail, module, _ = run.remap_needed
+            unfinished = [d for d in remaining if np.isnan(completions[d])]
+            if not unfinished:
+                break  # the fatal failure struck after the stream drained
+            surviving = machine_procs - faults.procs_lost
+            if planner is None:
+                from ..core.remap import RemapPlanner
+
+                planner = RemapPlanner(
+                    chain, mem_per_proc_mb=mem_per_proc_mb, method=method
+                )
+            from ..core.exceptions import InfeasibleError
+
+            try:
+                plan = planner.plan(surviving)
+            except InfeasibleError as exc:
+                raise SimulationError(
+                    f"stream aborted at t={t_fail:.4g}: chain no longer fits "
+                    f"on the {surviving} surviving processors ({exc})"
+                ) from exc
+            resume = t_fail + remap_latency
+            remaps.append(
+                RemapRecord(
+                    time=t_fail,
+                    resume_time=resume,
+                    failed_module=module,
+                    surviving_procs=surviving,
+                    old_mapping=current,
+                    new_mapping=plan.mapping,
+                    predicted_throughput=plan.throughput,
+                    datasets_replayed=len(unfinished),
+                )
+            )
+            if trace is not None:
+                trace.record(
+                    TraceEvent(-1, 0, "remap", f"remap@P={surviving}", -1,
+                               t_fail, resume)
+                )
+            injections[unfinished] = np.nan
+            remaining = unfinished
+            current = plan.mapping
+            dead = set()  # the new mapping only uses surviving processors
+            t0 = resume
+            continue
+
+        unfinished = [d for d in remaining if np.isnan(completions[d])]
+        if unfinished:
+            # Dropped during degradation: replay at the tail of the stream
+            # under the same (degraded) mapping.
+            injections[unfinished] = np.nan
+            remaining = unfinished
+            t0 = run.sim.now
+            continue
+        remaining = []
+
+    if np.isnan(completions).any():
+        raise SimulationError("simulation deadlocked: some data sets never completed")
+
+    warmup = _default_warmup(n_datasets, len(mapping), warmup_fraction)
+    degraded = bool(remaps) or any(f.kind == "proc_fail" for f in failures)
+    if degraded:
+        throughput = _pooled_throughput(completions, warmup)
+    else:
+        throughput = _measure_throughput(completions, current, n_datasets, warmup)
+    latencies = completions[warmup:] - injections[warmup:]
+    makespan = float(completions.max())
+    downtime = sum(r.downtime for r in remaps)
+    busy_fractions = {
+        key: busy / makespan if makespan > 0 else 0.0
+        for key, busy in sorted(busy_time.items())
+    }
+    return SimulationResult(
+        n_datasets=n_datasets,
+        makespan=makespan,
+        throughput=float(throughput),
+        mean_latency=float(latencies.mean()),
+        completions=completions,
+        injections=injections,
+        warmup=warmup,
+        events_processed=events,
+        busy_fractions=busy_fractions,
+        trace=trace,
+        failures=failures,
+        remaps=remaps,
+        epochs=_epochs_from(completions, failures, remaps, makespan),
+        availability=1.0 - (downtime / makespan if makespan > 0 else 0.0),
+        final_mapping=current,
     )

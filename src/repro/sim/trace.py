@@ -8,8 +8,10 @@ from typing import Iterable
 
 __all__ = ["TraceEvent", "TraceLog", "render_gantt"]
 
-#: Event kinds recorded by the pipeline simulator.
-KINDS = ("recv", "task", "icom", "send")
+#: Event kinds recorded by the pipeline simulator.  ``fault`` marks the
+#: wasted window of a transient-communication retry, ``fail`` a processor
+#: failure (zero-width), and ``remap`` the downtime of a DP-driven remap.
+KINDS = ("recv", "task", "icom", "send", "fault", "fail", "remap")
 
 
 @dataclass(frozen=True)
@@ -67,6 +69,21 @@ class TraceLog:
         recorded once per endpoint; ``recv`` selects one endpoint)."""
         return [e.duration for e in self.events if e.kind == kind and e.label == label]
 
+    def dumps(self) -> str:
+        """Canonical byte-stable text form of the log.
+
+        One line per event, fields separated by tabs, floats via ``repr``
+        (shortest round-trip, platform-independent) — two runs are
+        byte-identical iff their event streams are.  Backs the golden-trace
+        determinism tests and the ``--dump`` CLI option.
+        """
+        lines = [
+            f"{e.module}\t{e.instance}\t{e.kind}\t{e.label}\t{e.dataset}"
+            f"\t{float(e.start)!r}\t{float(e.end)!r}"
+            for e in self.events
+        ]
+        return "\n".join(lines) + ("\n" if lines else "")
+
     def busy_fraction(self, module: int, instance: int, horizon: float) -> float:
         busy = sum(
             e.duration
@@ -113,6 +130,8 @@ def render_gantt(
                 ch = "<"
             elif e.kind == "send":
                 ch = ">"
+            elif e.kind in ("fault", "fail", "remap"):
+                ch = "x"
             else:
                 ch = "."
             for x in range(a, min(b, len(row))):

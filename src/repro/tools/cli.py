@@ -5,6 +5,7 @@ Subcommands
 ``map``         run the automatic mapping tool for one workload (``--save``)
 ``simulate``    map, then measure the chosen mapping on the simulator
 ``trace``       simulate and render an execution trace (``--svg``)
+``faults``      run the fault-tolerance study (degrade / remap / availability)
 ``table1``      regenerate the paper's Table 1
 ``table2``      regenerate the paper's Table 2
 ``figures``     regenerate Figures 1–6
@@ -49,9 +50,24 @@ def build_parser() -> argparse.ArgumentParser:
     p_map.add_argument("--save", metavar="PLAN.json", default=None,
                        help="write the plan (mapping + fitted chain) to JSON")
 
+    def add_fault_args(p):
+        p.add_argument(
+            "--fail", action="append", default=[], metavar="TIME:MODULE[:INSTANCE]",
+            help="inject a processor failure (repeatable), e.g. --fail 40:1 "
+                 "kills module 1's instance 0 at t=40",
+        )
+        p.add_argument("--failure-rate", type=float, default=0.0,
+                       help="random failure hazard (failures per second)")
+        p.add_argument("--comm-fault-prob", type=float, default=0.0,
+                       help="per-transfer transient fault probability")
+        p.add_argument("--fault-seed", type=int, default=0)
+        p.add_argument("--remap-latency", type=float, default=0.05,
+                       help="downtime charged per DP remap (seconds)")
+
     p_sim = sub.add_parser("simulate", help="map, then measure on the simulator")
     add_workload_args(p_sim)
     p_sim.add_argument("--datasets", type=int, default=200)
+    add_fault_args(p_sim)
 
     p_trace = sub.add_parser("trace", help="simulate and render an execution trace")
     add_workload_args(p_trace)
@@ -67,6 +83,11 @@ def build_parser() -> argparse.ArgumentParser:
     add_workload_args(p_size)
     p_size.add_argument("--target", type=float, required=True,
                         help="required data sets per second")
+
+    p_faults = sub.add_parser(
+        "faults", help="fault-tolerance study: degrade, remap, availability"
+    )
+    p_faults.add_argument("--datasets", type=int, default=120)
 
     sub.add_parser("table1", help="regenerate Table 1")
     sub.add_parser("table2", help="regenerate Table 2")
@@ -163,16 +184,57 @@ def _cmd_map(args) -> int:
     return 0
 
 
+def _parse_faults(args):
+    """Build a FaultModel from CLI flags; None when no fault flag is set."""
+    from ..sim.faults import FaultModel, ProcessorFailure
+
+    failures = []
+    for spec in args.fail:
+        parts = spec.split(":")
+        if not 2 <= len(parts) <= 3:
+            raise SystemExit(
+                f"bad --fail spec {spec!r}: expected TIME:MODULE[:INSTANCE]"
+            )
+        failures.append(
+            ProcessorFailure(
+                float(parts[0]), int(parts[1]),
+                int(parts[2]) if len(parts) == 3 else 0,
+            )
+        )
+    model = FaultModel(
+        seed=args.fault_seed,
+        failures=failures,
+        failure_rate=args.failure_rate,
+        comm_fault_prob=args.comm_fault_prob,
+    )
+    return model if model.active else None
+
+
 def _cmd_simulate(args) -> int:
     machine = machine_by_name(args.machine)
     workload = workload_by_name(args.workload, machine)
     plan = auto_map(workload)
-    result = measure(workload, plan.mapping, n_datasets=args.datasets)
+    faults = _parse_faults(args)
+    result = measure(
+        workload, plan.mapping, n_datasets=args.datasets,
+        faults=faults, remap_latency=args.remap_latency,
+    )
     print(f"mapping   : {format_mapping(plan.mapping, workload.chain)}")
     print(f"predicted : {plan.predicted_throughput:.4g} data sets/s")
     print(f"measured  : {result.throughput:.4g} data sets/s "
           f"({100 * (result.throughput - plan.predicted_throughput) / plan.predicted_throughput:+.2f}%)")
     print(f"latency   : {result.mean_latency:.4g} s/data set")
+    if faults is not None:
+        fails = result.processor_failures
+        print(f"faults    : {len(fails)} processor, "
+              f"{len(result.comm_faults)} transient; "
+              f"{len(result.remaps)} remap(s); "
+              f"availability {result.availability:.4f}")
+        if result.remaps and result.final_mapping is not None:
+            print(f"remapped  : "
+                  f"{format_mapping(result.final_mapping, workload.chain)}"
+                  f"  -> {result.remaps[-1].predicted_throughput:.4g} "
+                  f"data sets/s predicted")
     return 0
 
 
@@ -214,6 +276,8 @@ def _cmd_studies() -> int:
     print(ex.memory_study.render(ex.memory_study.run()))
     print()
     print(ex.training_budget.render(ex.training_budget.run()))
+    print()
+    print(ex.fault_study.render(ex.fault_study.run()))
     return 0
 
 
@@ -238,6 +302,11 @@ def main(argv: list[str] | None = None) -> int:
         from .. import experiments as ex
 
         print(ex.table2.render(ex.table2.run()))
+        return 0
+    if args.command == "faults":
+        from .. import experiments as ex
+
+        print(ex.fault_study.render(ex.fault_study.run(args.datasets)))
         return 0
     if args.command == "figures":
         return _cmd_figures(args.only)

@@ -22,8 +22,9 @@ from ..core.dp_cluster import ClusteredResult, optimal_mapping
 from ..core.mapping import Mapping
 from ..estimate.estimator import EstimationResult, estimate_chain
 from ..machine.feasibility import FeasibleResult, optimal_feasible_mapping
+from ..sim.faults import FaultModel
 from ..sim.noise import NoiseModel
-from ..sim.pipeline import SimulationResult, simulate
+from ..sim.pipeline import SimulationResult, simulate, simulate_fault_tolerant
 from ..workloads.base import Workload
 
 __all__ = ["MappingPlan", "auto_map", "measure"]
@@ -100,8 +101,28 @@ def measure(
     mapping: Mapping,
     n_datasets: int = 200,
     noise: NoiseModel | None = None,
+    faults: FaultModel | None = None,
+    remap_latency: float = 0.05,
 ) -> SimulationResult:
-    """Measure a mapping on the "real" system (the true-cost simulator)."""
+    """Measure a mapping on the "real" system (the true-cost simulator).
+
+    With an active ``faults`` model the run goes through the fault-tolerant
+    orchestrator, which degrades replicated modules and remaps (on the
+    workload's machine, minus lost processors) when a module loses its
+    last instance.
+    """
+    if faults is not None and faults.active:
+        machine = workload.machine
+        return simulate_fault_tolerant(
+            workload.chain,
+            mapping,
+            n_datasets=n_datasets,
+            faults=faults,
+            machine_procs=machine.total_procs,
+            noise=noise,
+            mem_per_proc_mb=machine.mem_per_proc_mb,
+            remap_latency=remap_latency,
+        )
     return simulate(
         workload.chain, mapping, n_datasets=n_datasets, noise=noise
     )

@@ -17,6 +17,8 @@ from repro.core import (
 )
 from tests.conftest import make_random_chain
 
+pytestmark = pytest.mark.slow
+
 
 class TestEnumerateAllocations:
     def test_counts_compositions(self):

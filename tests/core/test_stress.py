@@ -15,6 +15,8 @@ from repro.core import (
 )
 from tests.conftest import make_random_chain
 
+pytestmark = pytest.mark.slow
+
 
 class TestLargeMachines:
     def test_dp_at_96_processors(self):

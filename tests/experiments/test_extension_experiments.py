@@ -1,10 +1,10 @@
 """Tests for the extension experiments (sizing, interference,
-linearisation, placement) — fast configurations; full scale lives in
-benchmarks/."""
+linearisation, placement, faults) — fast configurations; full scale lives
+in benchmarks/."""
 
 import pytest
 
-from repro.experiments import interference, linearization, sizing_study
+from repro.experiments import fault_study, interference, linearization, sizing_study
 from repro.machine import iwarp64_systolic
 from repro.workloads import radar
 
@@ -25,6 +25,28 @@ class TestInterference:
         assert points[0].error == pytest.approx(0.0, abs=1e-6)
         assert abs(points[1].error) > abs(points[0].error)
         assert "interference" in interference.render(points).lower()
+
+
+class TestFaultStudy:
+    def test_scenarios_and_degradation_curve(self):
+        results = fault_study.run(n_datasets=60)
+        by_name = {s.name: s for s in results["scenarios"]}
+        assert by_name["degrade (replicated)"].remaps == 0
+        assert by_name["degrade (replicated)"].failures == 1
+        remap = by_name["remap (unreplicated)"]
+        assert remap.remaps == 1
+        assert remap.availability < 1.0
+        # The simulator's post-remap rate must track the DP's prediction.
+        assert remap.post_fault_rate == pytest.approx(
+            remap.predicted_post, rel=0.05
+        )
+        curve = results["curve"]
+        assert [p for p, _ in curve] == sorted(
+            (p for p, _ in curve), reverse=True
+        )
+        tps = [tp for _, tp in curve]
+        assert tps == sorted(tps, reverse=True)  # fewer procs, lower optimum
+        assert "Fault-tolerance" in fault_study.render(results)
 
 
 class TestLinearization:

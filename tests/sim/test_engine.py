@@ -73,3 +73,50 @@ class TestSimulator:
             sim.schedule(1.0, lambda: None)
         sim.run()
         assert sim.events_processed == 7
+
+    def test_run_on_empty_queue(self):
+        sim = Simulator()
+        assert sim.run() == 0.0
+        assert sim.now == 0.0
+        assert sim.events_processed == 0
+
+    def test_stop_halts_after_current_event(self):
+        sim = Simulator()
+        log = []
+        sim.schedule(1.0, lambda: (log.append("a"), sim.stop()))
+        sim.schedule(2.0, lambda: log.append("b"))
+        sim.run()
+        assert log == ["a"]
+        assert sim.pending == 1
+
+    def test_stopped_run_resumes(self):
+        sim = Simulator()
+        log = []
+        sim.schedule(1.0, lambda: (log.append("a"), sim.stop()))
+        sim.schedule(2.0, lambda: log.append("b"))
+        sim.run()
+        end = sim.run()           # pending events survive a stop()
+        assert log == ["a", "b"]
+        assert end == pytest.approx(2.0)
+        assert sim.pending == 0
+
+    def test_simultaneous_failure_ties_break_by_insertion(self):
+        # Two "failures" at the same instant must fire in schedule order
+        # so fault injection stays deterministic across runs.
+        sim = Simulator()
+        log = []
+        sim.schedule_at(5.0, lambda: log.append("fail-A"))
+        sim.schedule_at(5.0, lambda: log.append("fail-B"))
+        sim.schedule_at(5.0, lambda: log.append("work"))
+        sim.run()
+        assert log == ["fail-A", "fail-B", "work"]
+
+    def test_stop_then_new_events(self):
+        sim = Simulator()
+        log = []
+        sim.schedule(1.0, sim.stop)
+        sim.schedule(3.0, lambda: log.append("late"))
+        sim.run()
+        sim.schedule(1.0, lambda: log.append("new"))  # now = 1.0 -> fires at 2.0
+        sim.run()
+        assert log == ["new", "late"]

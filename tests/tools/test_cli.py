@@ -20,6 +20,22 @@ class TestParser:
         with pytest.raises(SystemExit):
             build_parser().parse_args(["map", "-w", "weather"])
 
+    def test_fault_flags_parse(self):
+        args = build_parser().parse_args([
+            "simulate", "--fail", "40:1", "--fail", "60:0:1",
+            "--comm-fault-prob", "0.1", "--remap-latency", "0.5",
+        ])
+        assert args.fail == ["40:1", "60:0:1"]
+        assert args.comm_fault_prob == pytest.approx(0.1)
+        assert args.remap_latency == pytest.approx(0.5)
+
+    def test_bad_fail_spec_exits(self):
+        from repro.tools.cli import _parse_faults
+
+        args = build_parser().parse_args(["simulate", "--fail", "40"])
+        with pytest.raises(SystemExit):
+            _parse_faults(args)
+
 
 class TestCommands:
     def test_machines(self, capsys):
@@ -42,6 +58,15 @@ class TestCommands:
         ]) == 0
         out = capsys.readouterr().out
         assert "predicted" in out and "measured" in out
+
+    def test_simulate_with_fault_injection(self, capsys):
+        assert main([
+            "simulate", "-w", "fft-hist-256", "-m", "iwarp64-message",
+            "--datasets", "60", "--fail", "1:0:1", "--fault-seed", "3",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "faults" in out
+        assert "availability" in out
 
     def test_map_save_writes_plan(self, capsys, tmp_path):
         plan_path = tmp_path / "plan.json"
