@@ -30,7 +30,7 @@ from ..core.remap import RemapPlanner
 from ..core.response import evaluate_mapping
 from ..core.task import Edge, Task, TaskChain
 from ..sim.faults import FaultModel, ProcessorFailure
-from ..sim.pipeline import simulate_fault_tolerant
+from ..sim.pipeline import simulate, simulate_fault_tolerant
 from ..tools.report import render_table
 
 __all__ = ["FaultScenario", "run", "render"]
@@ -155,11 +155,23 @@ def run(n_datasets: int = 120) -> dict:
     )
 
     curve = planner.degradation_curve(MACHINE_PROCS, max_failures=4)
+
+    # Cross-check the healthy baseline against the vectorized fast path —
+    # the engine the future online controller will poll between faults.
+    # On a noise-free healthy run the two are bit-identical by design.
+    fast = simulate(chain, mapping, n_datasets=n_datasets, engine="fast")
+    event = simulate(chain, mapping, n_datasets=n_datasets, engine="event")
+    fast_agrees = bool(
+        (fast.completions == event.completions).all()
+        and fast.throughput == event.throughput
+    )
     return {
         "scenarios": scenarios,
         "curve": curve,
         "planner_solves": planner.solves,
         "comm_faults": len(lossy.comm_faults),
+        "fast_agrees": fast_agrees,
+        "fast_throughput": fast.throughput,
     }
 
 
@@ -189,5 +201,9 @@ def render(results: dict) -> str:
         f"degradation curve (optimal rate after k failures): {curve}\n"
         f"planner solves: {results['planner_solves']} "
         f"(segment cache shared across remaps); "
-        f"transient comm faults injected: {results['comm_faults']}"
+        f"transient comm faults injected: {results['comm_faults']}\n"
+        f"fast-engine healthy baseline: "
+        f"{results['fast_throughput']:.4f} data sets/s "
+        f"({'bit-identical to' if results['fast_agrees'] else 'DISAGREES with'}"
+        f" the event engine)"
     )

@@ -9,7 +9,8 @@ from .faults import (
     ProcessorFailure,
     RemapRecord,
 )
-from .noise import NoiseModel
+from .fastpath import simulate_fast
+from .noise import DriftNoiseModel, NoiseModel
 from .pipeline import SimulationResult, simulate, simulate_fault_tolerant
 from .svg import trace_to_svg, write_trace_svg
 from .trace import TraceEvent, TraceLog, render_gantt
@@ -17,8 +18,10 @@ from .trace import TraceEvent, TraceLog, render_gantt
 __all__ = [
     "Simulator",
     "NoiseModel",
+    "DriftNoiseModel",
     "SimulationResult",
     "simulate",
+    "simulate_fast",
     "simulate_fault_tolerant",
     "FaultModel",
     "FaultEvent",

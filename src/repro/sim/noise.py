@@ -15,7 +15,7 @@ from __future__ import annotations
 
 import numpy as np
 
-__all__ = ["NoiseModel"]
+__all__ = ["NoiseModel", "DriftNoiseModel"]
 
 
 class NoiseModel:
@@ -50,12 +50,83 @@ class NoiseModel:
         lo, hi = 1.0 - 3 * self.jitter, 1.0 + 3 * self.jitter
         return max(0.05, min(hi, max(lo, f)))
 
+    def factors(self, n: int) -> np.ndarray:
+        """``n`` jitter samples drawn in one batch.
+
+        Same marginal distribution (and, for the base model, the same
+        underlying RNG stream) as ``n`` successive :meth:`factor` calls;
+        the fast-path simulator uses this to price whole blocks of
+        operations at once.  The *consumption order* differs from an
+        event-driven run — batched draws are assigned per operation in
+        data-set order, not in event-time order — so noisy fast runs are
+        statistically, not bitwise, equivalent to event runs.
+        """
+        if self.jitter == 0:
+            return np.ones(n)
+        f = 1.0 + self.jitter * self._rng.standard_normal(n)
+        lo, hi = 1.0 - 3 * self.jitter, 1.0 + 3 * self.jitter
+        return np.maximum(0.05, np.clip(f, lo, hi))
+
     def comm_factor(self, concurrent_transfers: int) -> float:
         """Jitter plus contention for a transfer starting while
         ``concurrent_transfers`` others are active."""
         return self.factor() * (1.0 + self.comm_interference * max(0, concurrent_transfers))
 
+    @property
+    def active(self) -> bool:
+        """Does this model ever change a duration?"""
+        return self.jitter > 0 or self.comm_interference > 0
+
+    @property
+    def stationary(self) -> bool:
+        """Is the noise distribution time-invariant?
+
+        Stationary noise admits the fast path's batched sampling; the
+        engine dispatcher falls back to the event engine for anything
+        non-stationary (see :class:`DriftNoiseModel`).
+        """
+        return True
+
     @staticmethod
     def silent() -> "NoiseModel":
         """A noise model that changes nothing (for exactness tests)."""
         return NoiseModel(seed=0, jitter=0.0, comm_interference=0.0)
+
+
+class DriftNoiseModel(NoiseModel):
+    """Non-stationary noise: the mean operation cost ramps as the run ages.
+
+    Models workload drift (growing data sets, thermal throttling, slow
+    interference build-up) — the regime the online adaptive runtime has to
+    detect and re-map around.  Each successive draw is inflated by
+    ``(1 + drift)``: after ``n`` operations the mean factor is
+    ``(1 + drift) ** n``.  Because the distribution depends on how much of
+    the stream has already run, batched (out-of-order) sampling would
+    change the semantics, so ``stationary`` is ``False`` and the engine
+    dispatcher always routes such runs through the event engine.
+    """
+
+    def __init__(self, seed: int = 0, jitter: float = 0.02,
+                 comm_interference: float = 0.02, drift: float = 1e-5):
+        super().__init__(seed=seed, jitter=jitter,
+                         comm_interference=comm_interference)
+        if drift < 0:
+            raise ValueError("drift must be non-negative")
+        self.drift = drift
+        self._scale = 1.0
+
+    def factor(self) -> float:
+        base = super().factor()
+        self._scale *= 1.0 + self.drift
+        return base * self._scale
+
+    def factors(self, n: int) -> np.ndarray:
+        raise ValueError("non-stationary noise cannot be sampled in batches")
+
+    @property
+    def active(self) -> bool:
+        return super().active or self.drift > 0
+
+    @property
+    def stationary(self) -> bool:
+        return self.drift == 0

@@ -71,8 +71,11 @@ class SimulationResult:
     completions: np.ndarray            # completion time per data set
     injections: np.ndarray             # first-module start time per data set
     warmup: int                        # data sets excluded from the steady window
-    events_processed: int
-    busy_fractions: dict = None        # (module, instance) -> busy time / makespan
+    events_processed: int              # events the event engine processed (or,
+                                       # for the fast path, would have processed)
+    engine: str = "event"              # which engine produced this result
+    # (module, instance) -> busy time / makespan
+    busy_fractions: dict = field(default_factory=dict)
     trace: TraceLog | None = None
     # -- fault-tolerance accounting (empty/trivial for healthy runs) -------
     failures: list = field(default_factory=list)   # FaultEvent records
@@ -137,7 +140,7 @@ class _Worker:
     """
 
     __slots__ = ("run", "module", "instance", "queue", "alive", "idle",
-                 "current", "high")
+                 "current", "high", "_head")
 
     def __init__(self, run: "_Run", module: int, instance: int, datasets):
         self.run = run
@@ -145,6 +148,13 @@ class _Worker:
         self.instance = instance
         first = "exec" if module == 0 else "recv"
         self.queue: list[tuple[int, str]] = [(d, first) for d in datasets]
+        # The queue is consumed from the front via a head cursor rather
+        # than list.pop(0): popping the front of a list is O(len), which
+        # turns a long stream into an O(n^2) run.  Consumed entries are
+        # compacted away lazily; insertions (work inherited from a failed
+        # peer) always land past the cursor because the queue is ascending
+        # and inherited datasets exceed everything already started.
+        self._head = 0
         self.alive = True
         self.idle = True
         self.current: list | None = None  # [dataset, stage] while busy
@@ -153,16 +163,41 @@ class _Worker:
     def start(self):
         self._pump()
 
+    # -- queue plumbing ---------------------------------------------------
+    def pending_items(self) -> list[tuple[int, str]]:
+        """The not-yet-started work items, in ascending dataset order."""
+        return self.queue[self._head:]
+
+    def take_all(self) -> list[tuple[int, str]]:
+        """Remove and return every pending item (failure redistribution)."""
+        items = self.queue[self._head:]
+        self.queue = []
+        self._head = 0
+        return items
+
+    def insert_item(self, item: tuple[int, str]) -> None:
+        insort(self.queue, item, lo=self._head, key=lambda it: it[0])
+
+    def remove_dataset(self, dataset: int) -> None:
+        self.queue = [it for it in self.queue[self._head:] if it[0] != dataset]
+        self._head = 0
+
     # -- per-dataset flow -------------------------------------------------
     def _pump(self):
         if not self.alive:
             return
-        if not self.queue:
+        if self._head >= len(self.queue):
+            self.queue = []
+            self._head = 0
             self.idle = True
             self.current = None
             return
         self.idle = False
-        d, stage = self.queue.pop(0)
+        d, stage = self.queue[self._head]
+        self._head += 1
+        if self._head > 512 and self._head * 2 > len(self.queue):
+            del self.queue[: self._head]
+            self._head = 0
         if d > self.high:
             self.high = d
         if stage == "recv":
@@ -234,12 +269,13 @@ class _Run:
                  dead: set | None = None,
                  start_time: float = 0.0,
                  busy_time: dict | None = None,
-                 placements=None, hop_penalty: float = 0.0):
+                 placements=None, hop_penalty: float = 0.0,
+                 queue: str = "heap"):
         self.chain = chain
         self.mapping = mapping
         self.noise = noise
         self.trace = trace
-        self.sim = Simulator()
+        self.sim = Simulator(queue=queue)
         self.sim.now = start_time
         self.completions = completions
         self.injections = injections
@@ -422,8 +458,7 @@ class _Run:
                 TraceEvent(module, instance, "fail", "processor-failure", -1, t, t)
             )
         survivors = [x for x in self.module_workers[module] if x.alive]
-        items = list(w.queue)
-        w.queue.clear()
+        items = w.take_all()
         if w.current is not None:
             d, stage = w.current
             if stage == "wait_recv":
@@ -467,7 +502,7 @@ class _Run:
         counter = self._rr.get(module, 0)
         self._rr[module] = counter + 1
         w = eligible[counter % len(eligible)]
-        insort(w.queue, (dataset, stage), key=lambda item: item[0])
+        w.insert_item((dataset, stage))
         if w.idle:
             w._pump()
 
@@ -484,7 +519,7 @@ class _Run:
             for x in self.module_workers[m]:
                 if not x.alive:
                     continue
-                x.queue = [it for it in x.queue if it[0] != dataset]
+                x.remove_dataset(dataset)
                 if (
                     x.current is not None
                     and x.current[0] == dataset
@@ -596,6 +631,49 @@ def _default_warmup(n_datasets: int, n_modules: int, warmup_fraction: float) -> 
     )
 
 
+def _resolve_engine(engine: str, noise: NoiseModel,
+                    faults: FaultModel | None, collect_trace: bool) -> str:
+    """Pick (or validate) a simulation engine for one ``simulate`` call.
+
+    ``"auto"`` is deliberately conservative: it takes the fast path only
+    when the run is *provably equivalent* — no faults, no active noise, no
+    trace — so the default engine never changes any observable result, bit
+    for bit.  ``"fast"`` additionally admits stationary jitter (batched
+    draws: statistically, not bitwise, equivalent) and raises for anything
+    the recurrence cannot represent.
+    """
+    faults_active = faults is not None and faults.active
+    if engine == "event":
+        return "event"
+    if engine == "fast":
+        if faults_active:
+            raise SimulationError(
+                "fast engine cannot inject faults; use engine='event' or "
+                "simulate_fault_tolerant()"
+            )
+        if collect_trace:
+            raise SimulationError(
+                "fast engine does not record traces; use engine='event'"
+            )
+        if not noise.stationary:
+            raise SimulationError(
+                "fast engine requires stationary noise; use engine='event'"
+            )
+        if noise.comm_interference > 0:
+            raise SimulationError(
+                "fast engine cannot model transfer interference; use "
+                "engine='event'"
+            )
+        return "fast"
+    if engine != "auto":
+        raise SimulationError(
+            f"unknown engine {engine!r}: expected 'auto', 'event' or 'fast'"
+        )
+    if faults_active or collect_trace or noise.active:
+        return "event"
+    return "fast"
+
+
 def simulate(
     chain: TaskChain,
     mapping: Mapping,
@@ -606,12 +684,23 @@ def simulate(
     placements=None,
     hop_penalty: float = 0.0,
     faults: FaultModel | None = None,
+    engine: str = "auto",
+    queue: str = "heap",
 ) -> SimulationResult:
     """Run the pipeline on ``n_datasets`` inputs and measure its behaviour.
 
     Throughput is measured over the steady-state window (after ``warmup``
     data sets have drained the pipeline fill transient); latency is the mean
     end-to-end time of the measured data sets.
+
+    ``engine`` selects the executor: ``"event"`` always runs the
+    discrete-event engine; ``"fast"`` runs the vectorised recurrence of
+    :mod:`repro.sim.fastpath` (healthy pipelines only — raises for faults,
+    traces, interference or non-stationary noise); ``"auto"`` (default)
+    takes the fast path exactly when it is bit-identical to the event
+    engine (healthy, noise-free, no trace) and the event engine otherwise.
+    ``queue`` selects the event engine's queue backend (``"heap"`` or
+    ``"calendar"``); it does not affect results.
 
     ``placements`` (per-module lists of instance :class:`Rect` objects, as
     produced by the feasibility checker) together with ``hop_penalty``
@@ -632,13 +721,23 @@ def simulate(
         raise SimulationError("placements must cover every module")
     mapping.validate(chain)
     noise = noise or NoiseModel.silent()
+    if _resolve_engine(engine, noise, faults, collect_trace) == "fast":
+        # Imported lazily: fastpath imports this module's result/measure
+        # helpers at its own import time.
+        from .fastpath import simulate_fast
+
+        return simulate_fast(
+            chain, mapping, n_datasets, noise=noise,
+            warmup_fraction=warmup_fraction,
+            placements=placements, hop_penalty=hop_penalty,
+        )
     trace = TraceLog() if collect_trace else None
 
     completions = np.full(n_datasets, np.nan)
     injections = np.full(n_datasets, np.nan)
     run = _Run(chain, mapping, list(range(n_datasets)), noise, trace,
                completions=completions, injections=injections, faults=faults,
-               placements=placements, hop_penalty=hop_penalty)
+               placements=placements, hop_penalty=hop_penalty, queue=queue)
     if run.remap_needed is not None:
         raise SimulationError("mapping has a module with no live instance")
     run.start()
@@ -728,6 +827,7 @@ def simulate_fault_tolerant(
     planner=None,
     method: str = "auto",
     max_segments: int = 32,
+    queue: str = "heap",
 ) -> SimulationResult:
     """Run a stream to completion across failures, degradation, and remaps.
 
@@ -782,7 +882,7 @@ def simulate_fault_tolerant(
         run = _Run(chain, current, remaining, noise, trace,
                    completions=completions, injections=injections,
                    faults=faults, dead=dead, start_time=t0,
-                   busy_time=busy_time)
+                   busy_time=busy_time, queue=queue)
         if run.remap_needed is None:
             run.start()
             run.sim.run()

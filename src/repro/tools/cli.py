@@ -67,6 +67,11 @@ def build_parser() -> argparse.ArgumentParser:
     p_sim = sub.add_parser("simulate", help="map, then measure on the simulator")
     add_workload_args(p_sim)
     p_sim.add_argument("--datasets", type=int, default=200)
+    p_sim.add_argument("--engine", choices=("auto", "event", "fast"),
+                       default="auto",
+                       help="simulation engine for healthy runs: the "
+                            "event-driven core, the vectorized fast path, "
+                            "or auto (fast only when bit-identical)")
     add_fault_args(p_sim)
 
     p_trace = sub.add_parser("trace", help="simulate and render an execution trace")
@@ -218,8 +223,10 @@ def _cmd_simulate(args) -> int:
     result = measure(
         workload, plan.mapping, n_datasets=args.datasets,
         faults=faults, remap_latency=args.remap_latency,
+        engine=args.engine,
     )
     print(f"mapping   : {format_mapping(plan.mapping, workload.chain)}")
+    print(f"engine    : {result.engine}")
     print(f"predicted : {plan.predicted_throughput:.4g} data sets/s")
     print(f"measured  : {result.throughput:.4g} data sets/s "
           f"({100 * (result.throughput - plan.predicted_throughput) / plan.predicted_throughput:+.2f}%)")

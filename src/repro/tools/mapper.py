@@ -103,13 +103,15 @@ def measure(
     noise: NoiseModel | None = None,
     faults: FaultModel | None = None,
     remap_latency: float = 0.05,
+    engine: str = "auto",
 ) -> SimulationResult:
     """Measure a mapping on the "real" system (the true-cost simulator).
 
     With an active ``faults`` model the run goes through the fault-tolerant
     orchestrator, which degrades replicated modules and remaps (on the
     workload's machine, minus lost processors) when a module loses its
-    last instance.
+    last instance.  ``engine`` selects the healthy-run executor (see
+    :func:`repro.sim.simulate`); faulted runs always use the event engine.
     """
     if faults is not None and faults.active:
         machine = workload.machine
@@ -124,5 +126,6 @@ def measure(
             remap_latency=remap_latency,
         )
     return simulate(
-        workload.chain, mapping, n_datasets=n_datasets, noise=noise
+        workload.chain, mapping, n_datasets=n_datasets, noise=noise,
+        engine=engine,
     )

@@ -120,3 +120,114 @@ class TestSimulator:
         sim.schedule(1.0, lambda: log.append("new"))  # now = 1.0 -> fires at 2.0
         sim.run()
         assert log == ["new", "late"]
+
+
+class TestRunResume:
+    """`run()` must be resumable: `until=`, `max_events=` and `stop()` all
+    leave the queue intact and a later `run()` picks up where it left off."""
+
+    def test_until_leaves_queue_intact_and_second_run_continues(self):
+        sim = Simulator()
+        log = []
+        for t in (1.0, 2.0, 3.0, 4.0):
+            sim.schedule(t, lambda t=t: log.append(t))
+        sim.run(until=2.5)
+        assert log == [1.0, 2.0]
+        assert sim.pending == 2
+        assert sim.now == pytest.approx(2.5)
+        end = sim.run()
+        assert log == [1.0, 2.0, 3.0, 4.0]
+        assert end == pytest.approx(4.0)
+        assert sim.pending == 0
+
+    def test_max_events_then_stop_interplay(self):
+        # stop() fired by the very last event allowed by max_events must
+        # not eat any further events, and the stopped flag must not leak
+        # into the next run() call.
+        sim = Simulator()
+        log = []
+        sim.schedule(1.0, lambda: log.append("a"))
+        sim.schedule(2.0, lambda: (log.append("b"), sim.stop()))
+        sim.schedule(3.0, lambda: log.append("c"))
+        sim.run(max_events=2)          # processes a, b; b also stops
+        assert log == ["a", "b"]
+        assert sim.pending == 1
+        sim.run(max_events=0)          # a zero budget processes nothing
+        assert log == ["a", "b"]
+        sim.run()
+        assert log == ["a", "b", "c"]
+
+    def test_events_processed_accumulates_across_runs(self):
+        sim = Simulator()
+        for i in range(6):
+            sim.schedule(float(i), lambda: None)
+        sim.run(max_events=2)
+        assert sim.events_processed == 2
+        sim.run(until=3.5)
+        assert sim.events_processed == 4
+        sim.run()
+        assert sim.events_processed == 6
+
+    def test_schedule_at_is_exact_and_tolerates_clock_epsilon(self):
+        # The absolute time goes into the queue verbatim — no now +
+        # (time - now) round trip, which for t=0.1 at now=0.3 lands one
+        # ulp off — and a target an epsilon below `now` fires at `now`
+        # instead of raising.
+        sim = Simulator()
+        hits = []
+        sim.schedule(0.3, lambda: sim.schedule_at(0.7, lambda: hits.append(sim.now)))
+        sim.run()
+        assert hits == [0.7]           # bitwise, not approx
+        with pytest.raises(SimulationError):
+            sim.schedule_at(0.5, lambda: None)   # clearly in the past
+        sim.schedule_at(sim.now - 1e-15, lambda: hits.append(sim.now))
+        sim.run()
+        assert hits == [0.7, 0.7]
+
+
+class TestCalendarQueue:
+    """The calendar backend must order events exactly like the heap."""
+
+    def test_unknown_queue_rejected(self):
+        with pytest.raises(SimulationError):
+            Simulator(queue="fibonacci")
+
+    def test_same_order_as_heap_under_fuzz(self):
+        import random
+
+        rng = random.Random(1234)
+        heap_log, cal_log = [], []
+        for queue, log in (("heap", heap_log), ("calendar", cal_log)):
+            rng2 = random.Random(99)
+            sim = Simulator(queue=queue)
+
+            def chained(sim=sim, log=log, rng2=rng2):
+                log.append(sim.now)
+                if len(log) < 400:
+                    # Mixed scales exercise bucket resize and the
+                    # empty-year jump over sparse horizons.
+                    sim.schedule(rng2.choice([0.0, 1e-6, 0.37, 5.0, 4000.0]),
+                                 chained)
+
+            for _ in range(25):
+                sim.schedule(rng2.uniform(0, 10), chained)
+            sim.run(max_events=400)
+        assert cal_log == heap_log     # bitwise-identical event times
+
+    def test_identical_tie_breaking(self):
+        sim = Simulator(queue="calendar")
+        log = []
+        for name in "abcde":
+            sim.schedule_at(2.0, lambda n=name: log.append(n))
+        sim.run()
+        assert log == list("abcde")
+
+    def test_until_and_resume_with_calendar(self):
+        sim = Simulator(queue="calendar")
+        log = []
+        for t in (0.5, 1.5, 2.5):
+            sim.schedule(t, lambda t=t: log.append(t))
+        sim.run(until=1.0)
+        assert log == [0.5] and sim.pending == 2
+        sim.run()
+        assert log == [0.5, 1.5, 2.5]

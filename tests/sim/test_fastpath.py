@@ -1,0 +1,233 @@
+"""Fast-path engine: bit-exactness vs the event engine, cycle leaping,
+and the `simulate(engine=...)` dispatch contract."""
+
+import numpy as np
+import pytest
+
+from repro.core import SimulationError
+from repro.core.cost import PolynomialEComm, PolynomialExec
+from repro.core.mapping import Mapping, ModuleSpec
+from repro.core.task import Edge, Task, TaskChain
+from repro.machine.topology import Rect
+from repro.sim import DriftNoiseModel, NoiseModel, simulate, simulate_fast
+from repro.sim.faults import FaultModel, ProcessorFailure
+
+from ..conftest import make_random_chain, make_three_task_chain
+
+#: All benchmark/leap tests use durations on this dyadic grid, where every
+#: timestamp addition is exact integer arithmetic scaled by the unit — the
+#: regime in which cycle leaping is provably bit-identical (see
+#: docs/algorithms.md §11).
+_UNIT = 2.0 ** -20
+
+
+def _dyadic(x: float) -> float:
+    return round(x / _UNIT) * _UNIT
+
+
+def dyadic_chain(k: int = 5) -> TaskChain:
+    tasks = [
+        Task(f"t{i}", PolynomialExec(_dyadic(0.23 + 0.31 * i), 0.0, 0.0))
+        for i in range(k)
+    ]
+    edges = [
+        Edge(ecom=PolynomialEComm(_dyadic(0.11 + 0.07 * i), 0.0, 0.0, 0.0, 0.0))
+        for i in range(k - 1)
+    ]
+    return TaskChain(tasks, edges, name="dyadic")
+
+
+def dyadic_mapping() -> Mapping:
+    return Mapping([
+        ModuleSpec(0, 0, 1, 2),
+        ModuleSpec(1, 1, 2, 1),
+        ModuleSpec(2, 2, 1, 3),
+        ModuleSpec(3, 3, 2, 1),
+        ModuleSpec(4, 4, 1, 2),
+    ])
+
+
+def assert_identical(a, b):
+    """Every observable of the two results matches bit for bit."""
+    assert np.array_equal(a.completions, b.completions)
+    assert np.array_equal(a.injections, b.injections)
+    assert a.busy_fractions == b.busy_fractions
+    assert a.throughput == b.throughput
+    assert a.mean_latency == b.mean_latency
+    assert a.makespan == b.makespan
+    assert a.events_processed == b.events_processed
+    assert a.warmup == b.warmup
+
+
+class TestExactness:
+    def test_three_task_chain_bit_identical(self, three_chain):
+        mapping = Mapping([ModuleSpec(0, 1, 3, 2), ModuleSpec(2, 2, 4, 1)])
+        ev = simulate(three_chain, mapping, n_datasets=150, engine="event")
+        fa = simulate(three_chain, mapping, n_datasets=150, engine="fast")
+        assert fa.engine == "fast" and ev.engine == "event"
+        assert_identical(ev, fa)
+
+    @pytest.mark.parametrize("seed", [2, 11, 23])
+    def test_random_chains_with_replication(self, seed):
+        chain = make_random_chain(4, seed=seed, replicable_prob=1.0)
+        rng = np.random.default_rng(seed)
+        specs, start = [], 0
+        # Random contiguous modules with random replica counts.
+        cuts = sorted(rng.choice(range(1, 4), size=1, replace=False).tolist())
+        bounds = [0] + cuts + [4]
+        for i in range(len(bounds) - 1):
+            specs.append(
+                ModuleSpec(bounds[i], bounds[i + 1] - 1,
+                           int(rng.integers(1, 4)), int(rng.integers(1, 4)))
+            )
+        mapping = Mapping(specs)
+        ev = simulate(chain, mapping, n_datasets=97, engine="event")
+        fa = simulate(chain, mapping, n_datasets=97, engine="fast")
+        assert_identical(ev, fa)
+
+    def test_single_module_pipeline(self):
+        chain = TaskChain([Task("solo", PolynomialExec(1.25, 2.0, 0.0))], [])
+        mapping = Mapping([ModuleSpec(0, 0, 2, 3)])
+        ev = simulate(chain, mapping, n_datasets=77, engine="event")
+        fa = simulate(chain, mapping, n_datasets=77, engine="fast")
+        assert_identical(ev, fa)
+
+    def test_placements_and_hop_penalty(self, three_chain):
+        mapping = Mapping([ModuleSpec(0, 1, 2, 2), ModuleSpec(2, 2, 2, 1)])
+        placements = [
+            [Rect(0, 0, 1, 2), Rect(1, 0, 1, 2)],
+            [Rect(4, 2, 1, 2)],
+        ]
+        ev = simulate(three_chain, mapping, n_datasets=90, engine="event",
+                      placements=placements, hop_penalty=0.05)
+        fa = simulate(three_chain, mapping, n_datasets=90, engine="fast",
+                      placements=placements, hop_penalty=0.05)
+        assert_identical(ev, fa)
+
+
+class TestCycleLeaping:
+    def test_leap_fires_and_stays_bit_identical(self):
+        chain, mapping = dyadic_chain(), dyadic_mapping()
+        stats = {}
+        fa = simulate_fast(chain, mapping, 20000, noise=NoiseModel.silent(),
+                           stats=stats)
+        assert stats["leaped"] > 15000, "leap should cover almost all the run"
+        ev = simulate(chain, mapping, n_datasets=20000, engine="event")
+        assert_identical(ev, fa)
+
+    def test_leap_disabled_gives_same_result(self):
+        chain, mapping = dyadic_chain(), dyadic_mapping()
+        stats = {}
+        leaped = simulate_fast(chain, mapping, 5000,
+                               noise=NoiseModel.silent(), stats=stats)
+        assert stats["leaped"] > 0
+        scalar = simulate_fast(chain, mapping, 5000,
+                               noise=NoiseModel.silent(), leap=False)
+        assert_identical(leaped, scalar)
+
+    def test_no_leap_without_exactness_certificate(self):
+        # Full-mantissa random durations never sit on a usable dyadic
+        # grid, so the detector must refuse to extrapolate and the run
+        # stays on the (still bit-exact) scalar recurrence.
+        chain = make_random_chain(3, seed=5)
+        mapping = Mapping([ModuleSpec(0, 0, 2, 2), ModuleSpec(1, 2, 3, 1)])
+        stats = {}
+        fa = simulate_fast(chain, mapping, 2000, noise=NoiseModel.silent(),
+                           stats=stats)
+        assert stats["leaped"] == 0
+        ev = simulate(chain, mapping, n_datasets=2000, engine="event")
+        assert_identical(ev, fa)
+
+
+class TestEngineDispatch:
+    def test_auto_uses_fast_for_healthy_runs(self, three_chain):
+        mapping = Mapping([ModuleSpec(0, 1, 3, 2), ModuleSpec(2, 2, 4, 1)])
+        auto = simulate(three_chain, mapping, n_datasets=80)
+        assert auto.engine == "fast"
+        ev = simulate(three_chain, mapping, n_datasets=80, engine="event")
+        assert_identical(auto, ev)
+
+    def test_auto_falls_back_for_faults(self, three_chain):
+        mapping = Mapping([ModuleSpec(0, 1, 3, 2), ModuleSpec(2, 2, 4, 1)])
+        faults = FaultModel(seed=3, failures=[ProcessorFailure(30.0, 0, 1)])
+        res = simulate(three_chain, mapping, n_datasets=80, faults=faults)
+        assert res.engine == "event"
+        assert res.processor_failures
+
+    def test_auto_falls_back_for_inactive_faults_model(self, three_chain):
+        mapping = Mapping([ModuleSpec(0, 1, 3, 2), ModuleSpec(2, 2, 4, 1)])
+        res = simulate(three_chain, mapping, n_datasets=80,
+                       faults=FaultModel.silent())
+        assert res.engine == "fast"  # a silent model injects nothing
+
+    def test_auto_falls_back_for_noise_and_drift(self, three_chain):
+        mapping = Mapping([ModuleSpec(0, 1, 3, 2), ModuleSpec(2, 2, 4, 1)])
+        noisy = simulate(three_chain, mapping, n_datasets=80,
+                         noise=NoiseModel(seed=1))
+        assert noisy.engine == "event"
+        drifty = simulate(three_chain, mapping, n_datasets=80,
+                          noise=DriftNoiseModel(seed=1, jitter=0.0,
+                                                comm_interference=0.0,
+                                                drift=1e-4))
+        assert drifty.engine == "event"
+
+    def test_auto_falls_back_for_traces(self, three_chain):
+        mapping = Mapping([ModuleSpec(0, 1, 3, 2), ModuleSpec(2, 2, 4, 1)])
+        res = simulate(three_chain, mapping, n_datasets=20, collect_trace=True)
+        assert res.engine == "event"
+        assert res.trace is not None
+
+    def test_explicit_fast_rejects_unsupported(self, three_chain):
+        mapping = Mapping([ModuleSpec(0, 1, 3, 2), ModuleSpec(2, 2, 4, 1)])
+        with pytest.raises(SimulationError):
+            simulate(three_chain, mapping, n_datasets=20, engine="fast",
+                     faults=FaultModel(seed=1, failure_rate=0.1))
+        with pytest.raises(SimulationError):
+            simulate(three_chain, mapping, n_datasets=20, engine="fast",
+                     collect_trace=True)
+        with pytest.raises(SimulationError):
+            simulate(three_chain, mapping, n_datasets=20, engine="fast",
+                     noise=NoiseModel(seed=1, jitter=0.0,
+                                      comm_interference=0.05))
+        with pytest.raises(SimulationError):
+            simulate(three_chain, mapping, n_datasets=20, engine="fast",
+                     noise=DriftNoiseModel(seed=1, drift=1e-4))
+
+    def test_unknown_engine_rejected(self, three_chain):
+        mapping = Mapping([ModuleSpec(0, 1, 3, 2), ModuleSpec(2, 2, 4, 1)])
+        with pytest.raises(SimulationError):
+            simulate(three_chain, mapping, n_datasets=20, engine="warp")
+
+    def test_fast_with_stationary_jitter_is_statistically_close(self):
+        chain = make_three_task_chain()
+        mapping = Mapping([ModuleSpec(0, 1, 3, 2), ModuleSpec(2, 2, 4, 1)])
+        kw = dict(jitter=0.05, comm_interference=0.0)
+        fa = simulate(chain, mapping, n_datasets=3000, engine="fast",
+                      noise=NoiseModel(seed=5, **kw))
+        ev = simulate(chain, mapping, n_datasets=3000, engine="event",
+                      noise=NoiseModel(seed=5, **kw))
+        assert fa.engine == "fast"
+        assert fa.throughput == pytest.approx(ev.throughput, rel=0.02)
+        assert fa.mean_latency == pytest.approx(ev.mean_latency, rel=0.05)
+
+    def test_queue_backend_does_not_change_results(self, three_chain):
+        mapping = Mapping([ModuleSpec(0, 1, 3, 2), ModuleSpec(2, 2, 4, 1)])
+        heap = simulate(three_chain, mapping, n_datasets=60, engine="event",
+                        noise=NoiseModel(seed=4), queue="heap")
+        cal = simulate(three_chain, mapping, n_datasets=60, engine="event",
+                       noise=NoiseModel(seed=4), queue="calendar")
+        assert_identical(heap, cal)
+
+
+class TestResultDataclass:
+    def test_busy_fractions_defaults_to_dict(self):
+        from repro.sim import SimulationResult
+
+        r = SimulationResult(
+            n_datasets=2, makespan=1.0, throughput=1.0, mean_latency=0.5,
+            completions=np.zeros(2), injections=np.zeros(2), warmup=1,
+            events_processed=0,
+        )
+        assert r.busy_fractions == {}
+        assert r.module_utilization(0) == 0.0  # no crash on the default
+        assert r.engine == "event"
