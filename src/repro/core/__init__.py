@@ -8,6 +8,7 @@ from .cost import (
     PolynomialEComm,
     PolynomialExec,
     PolynomialIComm,
+    ScaledBinary,
     ScaledUnary,
     ScatteredBinary,
     SumUnary,
@@ -51,6 +52,7 @@ from .workspace import SolverWorkspace, argmin_dtype, default_workspace
 from .dp import DPResult, optimal_assignment
 from .dp_cluster import ClusteredResult, optimal_mapping
 from .remap import RemapPlanner
+from .resolve import ChainDelta, diff_chains, scale_chain
 from .greedy import GreedyResult, greedy_assignment
 from .cluster_greedy import HeuristicResult, heuristic_mapping
 from .baselines import (
@@ -77,8 +79,8 @@ __all__ = [
     # cost models
     "UnaryCost", "BinaryCost", "PolynomialExec", "PolynomialIComm",
     "PolynomialEComm", "TabulatedUnary", "TabulatedBinary", "ScatteredBinary", "ZeroUnary",
-    "ZeroBinary", "SumUnary", "ScaledUnary", "LambdaUnary", "LambdaBinary",
-    "model_from_dict",
+    "ZeroBinary", "SumUnary", "ScaledUnary", "ScaledBinary", "LambdaUnary",
+    "LambdaBinary", "model_from_dict",
     # errors
     "ReproError", "InvalidChainError", "InvalidMappingError",
     "InfeasibleError", "ModelFitError", "SimulationError",
@@ -98,6 +100,7 @@ __all__ = [
     "DPResult", "optimal_assignment",
     "ClusteredResult", "optimal_mapping",
     "RemapPlanner",
+    "ChainDelta", "diff_chains", "scale_chain",
     "GreedyResult", "greedy_assignment",
     "HeuristicResult", "heuristic_mapping",
     "LatencyResult", "optimal_latency_assignment",

@@ -41,6 +41,7 @@ __all__ = [
     "ZeroBinary",
     "SumUnary",
     "ScaledUnary",
+    "ScaledBinary",
     "LambdaUnary",
     "LambdaBinary",
     "model_from_dict",
@@ -397,6 +398,25 @@ class ScaledUnary(UnaryCost):
         return {"kind": "scaled_unary", "factor": self.factor, "base": self.base.to_dict()}
 
 
+class ScaledBinary(BinaryCost):
+    """A binary cost multiplied by a constant factor.
+
+    The incremental re-solver uses this to express drifted external
+    communication (``f_ecom`` scaled by an observed slowdown) without
+    touching the underlying model — see :mod:`repro.core.resolve`.
+    """
+
+    def __init__(self, base: BinaryCost, factor: float):
+        self.base = base
+        self.factor = float(factor)
+
+    def evaluate(self, ps, pr):
+        return self.factor * self.base.evaluate(ps, pr)
+
+    def to_dict(self) -> dict:
+        return {"kind": "scaled_binary", "factor": self.factor, "base": self.base.to_dict()}
+
+
 class LambdaUnary(UnaryCost):
     """Wrap an arbitrary vectorised callable ``f(p)`` as a unary cost.
 
@@ -468,4 +488,6 @@ def model_from_dict(d: dict) -> UnaryCost | BinaryCost:
         return SumUnary([model_from_dict(x) for x in d["parts"]])
     if kind == "scaled_unary":
         return ScaledUnary(model_from_dict(d["base"]), d["factor"])
+    if kind == "scaled_binary":
+        return ScaledBinary(model_from_dict(d["base"]), d["factor"])
     raise ValueError(f"unknown cost-model kind: {kind!r}")

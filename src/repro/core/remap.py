@@ -50,6 +50,8 @@ class RemapPlanner:
         self.cache = SegmentCache(chain, mem_per_proc_mb)
         self._plans: dict[int, ClusteredResult] = {}
         self.solves = 0
+        self.updates = 0     # update_chain calls that changed something
+        self.evictions = 0   # cache entries evicted across all updates
 
     def plan(self, total_procs: int) -> ClusteredResult:
         """The optimal mapping for ``total_procs`` surviving processors.
@@ -71,6 +73,31 @@ class RemapPlanner:
             self._plans[total_procs] = got
             self.solves += 1
         return got
+
+    def update_chain(self, chain: TaskChain) -> "ChainDelta":
+        """Repoint the planner at a chain with *changed cost tables*.
+
+        The second remapping axis (beyond a shrinking machine): workload
+        drift re-prices tasks and edges while the program structure stays
+        fixed.  The delta against the current chain is computed
+        structurally (:func:`~repro.core.resolve.diff_chains`) and only
+        the segment-cache entries that delta touches are evicted — the
+        next :meth:`plan` call recomputes exactly the stale tensors and is
+        byte-identical to a cold solve of the new chain.  Memoised plans
+        are dropped unless nothing changed.  Returns the delta.
+        """
+        from .resolve import diff_chains
+
+        delta = diff_chains(self.chain, chain)
+        self.evictions += self.cache.invalidate(delta.tasks, delta.edges)
+        # Rebind both references even on a trivial delta: optimal_mapping
+        # ignores a cache whose ``chain`` is not the solved chain object.
+        self.chain = chain
+        self.cache.chain = chain
+        if not delta.trivial:
+            self._plans.clear()
+            self.updates += 1
+        return delta
 
     def plan_after_failures(self, machine_procs: int, procs_lost: int) -> ClusteredResult:
         """Convenience: the plan for ``machine_procs - procs_lost`` survivors."""

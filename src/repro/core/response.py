@@ -270,6 +270,52 @@ class SegmentCache:
             self.part_misses += 1
         return got
 
+    def invalidate(self, tasks=(), edges=()) -> int:
+        """Evict every entry whose value depends on a changed task or edge.
+
+        ``tasks``/``edges`` are indices into the bound chain whose cost
+        models (or memory/replicability attributes) changed.  Evicted are:
+
+        * infos (and their parts) whose span *contains* a changed task, or
+          *straddles* a changed edge — the edge's internal-communication
+          cost is swallowed into the module execution cost;
+        * parts whose span is *adjacent* to a changed edge (``start ==
+          edge+1`` or ``stop == edge``) — the edge's external-communication
+          cost prices their boundary transfer.
+
+        Entries that survive are exactly those whose cost tensors are
+        unaffected, so an incremental re-solve over the updated chain is
+        byte-identical to a cold full solve (``tests/core/test_resolve.py``
+        checks this differentially).  Stale-by-key entries (e.g. a
+        neighbour whose ``p_min`` changed) need no eviction — the changed
+        key makes them unreachable.  Callers repointing the cache at an
+        updated chain object must also rebind :attr:`chain` (see
+        :meth:`repro.core.remap.RemapPlanner.update_chain`), otherwise the
+        solver ignores the cache entirely.
+
+        Returns the number of entries evicted.
+        """
+        tset = set(tasks)
+        eset = set(edges)
+        if not tset and not eset:
+            return 0
+
+        def touches(start: int, stop: int) -> bool:
+            return (any(start <= i <= stop for i in tset)
+                    or any(start <= j < stop for j in eset))
+
+        dead_infos = [k for k in self._infos if touches(*k)]
+        for k in dead_infos:
+            del self._infos[k]
+        dead_parts = [
+            k for k in self._parts
+            if touches(k[0], k[1])
+            or any(k[0] == j + 1 or k[1] == j for j in eset)
+        ]
+        for k in dead_parts:
+            del self._parts[k]
+        return len(dead_infos) + len(dead_parts)
+
 
 def module_exec_cost(chain: TaskChain, start: int, stop: int) -> UnaryCost:
     """Execution cost of the module ``start..stop``: the sum of its tasks'

@@ -1,6 +1,13 @@
 """Discrete-event pipeline simulator — the "measured" substrate standing in
 for the paper's iWarp testbed, plus the fault-injection layer."""
 
+from .controller import (
+    AdaptiveController,
+    ControllerConfig,
+    ControllerDecision,
+    ControllerRecord,
+    EpochObservation,
+)
 from .engine import Simulator
 from .faults import (
     EpochStats,
@@ -17,6 +24,11 @@ from .trace import TraceEvent, TraceLog, render_gantt
 
 __all__ = [
     "Simulator",
+    "AdaptiveController",
+    "ControllerConfig",
+    "ControllerDecision",
+    "ControllerRecord",
+    "EpochObservation",
     "NoiseModel",
     "DriftNoiseModel",
     "SimulationResult",

@@ -114,6 +114,15 @@ class _Pipeline:
         #: Events the event engine would process per data set: one per
         #: execution phase plus one rendezvous completion per edge.
         self.events_per_dataset = sum(len(p) for p in self.phases) + (self.k - 1)
+        #: Which of a data set's operations (in the order _run_scalar prices
+        #: them) are external transfers — the per-draw ``comm`` context for
+        #: noise models that drift communication separately from compute.
+        mask = np.zeros(self.events_per_dataset, dtype=bool)
+        pos = len(self.phases[0])
+        for e in range(self.k - 1):
+            mask[pos] = True
+            pos += 1 + len(self.phases[e + 1])
+        self.comm_template = mask
         #: Hyper-period: the instance round-robin (and the placement
         #: pattern, which is keyed by d mod replicas) repeats every L sets.
         self.L = lcm(*self.replicas)
@@ -325,6 +334,8 @@ def simulate_fast(
     hop_penalty: float = 0.0,
     leap: bool = True,
     stats: dict | None = None,
+    first_dataset: int = 0,
+    start_time: float = 0.0,
 ):
     """Measure a healthy pipeline via the timing recurrence.
 
@@ -333,6 +344,12 @@ def simulate_fast(
     fast-path diagnostics (``leaped``, ``scalar_datasets``, ``period``).
     Callers normally go through ``simulate(engine=...)``, which validates
     eligibility; this function assumes a validated healthy configuration.
+
+    ``first_dataset`` offsets the noise context: local data set ``i`` is
+    priced as global data set ``first_dataset + i`` (drift indexing), and
+    ``start_time`` releases every instance at an absolute time — together
+    they let the adaptive drive loop run epochs of a longer stream through
+    the recurrence with the same arithmetic the event engine would use.
     """
     # Imported here: pipeline.py imports this module lazily inside
     # simulate(), so a top-level back-import would be circular.
@@ -343,8 +360,11 @@ def simulate_fast(
         _measure_throughput,
     )
 
-    if not noise.stationary:
-        raise SimulationError("fast engine requires stationary noise")
+    if not noise.batchable:
+        raise SimulationError(
+            "fast engine needs batchable noise (stationary, or context-"
+            "keyed like DriftNoiseModel); use engine='event'"
+        )
     if noise.comm_interference > 0:
         raise SimulationError(
             "fast engine cannot model transfer interference "
@@ -354,7 +374,7 @@ def simulate_fast(
     n = n_datasets
     completions = np.empty(n)
     injections = np.empty(n)
-    ready = [[0.0] * r for r in pipe.replicas]
+    ready = [[start_time] * r for r in pipe.replicas]
     busy = [[0.0] * r for r in pipe.replicas]
 
     noisy = noise.active
@@ -365,12 +385,16 @@ def simulate_fast(
     period_used = None
 
     if noisy:
-        # Batched stationary jitter: draw one factor per operation in
-        # data-set order, block by block (bounded memory at n=1e6+).
+        # Batched noise: draw one factor per operation in data-set order,
+        # block by block (bounded memory at n=1e6+), passing each draw's
+        # (data set, is-transfer) context for non-stationary models.
         block = max(1, 65536 // max(pipe.events_per_dataset, 1)) * 256
+        epd = pipe.events_per_dataset
         while done < n:
             stop = min(done + block, n)
-            draws = noise.factors((stop - done) * pipe.events_per_dataset)
+            ds = np.repeat(np.arange(done, stop) + first_dataset, epd)
+            cm = np.tile(pipe.comm_template, stop - done)
+            draws = noise.factors((stop - done) * epd, datasets=ds, comm=cm)
             _run_scalar(pipe, ready, busy, completions, injections,
                         done, stop, factors=iter(draws.tolist()))
             done = stop

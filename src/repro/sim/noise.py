@@ -8,7 +8,20 @@ reproduces both effect classes:
 * per-operation multiplicative jitter (cache/OS variation) — seeded and
   deterministic, so experiments are reproducible;
 * communication interference — a transfer that starts while other transfers
-  are in flight is slowed in proportion to the contention.
+  are in flight is slowed in proportion to the contention;
+* workload drift (:class:`DriftNoiseModel`) — the mean operation cost ramps
+  as the stream ages, the regime the online adaptive runtime re-maps around.
+
+Draw context
+------------
+Every sampling method accepts an optional ``dataset`` index (the global
+position of the data set whose operation is being priced).  The base model
+ignores it — stationary jitter depends only on the RNG stream — but
+non-stationary models key their time dependence on it, which makes a draw's
+value independent of *draw order and batching*: the event engine (one
+:meth:`factor` call per operation, in event-time order) and the fast path
+(one :meth:`factors` call per block, in data-set order) price the same
+operation identically.
 """
 
 from __future__ import annotations
@@ -42,23 +55,38 @@ class NoiseModel:
         self.comm_interference = comm_interference
         self.seed = seed
 
-    def factor(self) -> float:
-        """One multiplicative jitter sample."""
+    def _jitter_factor(self) -> float:
+        """One truncated-normal multiplicative jitter sample.
+
+        Draws from the RNG only when ``jitter > 0``, so jitter-free models
+        are RNG-silent and their values are pure functions of the context.
+        """
         if self.jitter == 0:
             return 1.0
         f = 1.0 + self.jitter * float(self._rng.standard_normal())
         lo, hi = 1.0 - 3 * self.jitter, 1.0 + 3 * self.jitter
         return max(0.05, min(hi, max(lo, f)))
 
-    def factors(self, n: int) -> np.ndarray:
+    def factor(self, dataset: int | None = None) -> float:
+        """One multiplicative jitter sample for an execution-side operation.
+
+        ``dataset`` is the global index of the data set being processed;
+        the stationary base model ignores it.
+        """
+        return self._jitter_factor()
+
+    def factors(self, n: int, datasets=None, comm=None) -> np.ndarray:
         """``n`` jitter samples drawn in one batch.
 
         Same marginal distribution (and, for the base model, the same
         underlying RNG stream) as ``n`` successive :meth:`factor` calls;
         the fast-path simulator uses this to price whole blocks of
-        operations at once.  The *consumption order* differs from an
+        operations at once.  ``datasets`` (per-draw data-set indices) and
+        ``comm`` (per-draw transfer mask) give non-stationary subclasses
+        the same context the per-operation methods get; the base model
+        ignores both.  The RNG *consumption order* differs from an
         event-driven run — batched draws are assigned per operation in
-        data-set order, not in event-time order — so noisy fast runs are
+        data-set order, not in event-time order — so jittered fast runs are
         statistically, not bitwise, equivalent to event runs.
         """
         if self.jitter == 0:
@@ -67,10 +95,12 @@ class NoiseModel:
         lo, hi = 1.0 - 3 * self.jitter, 1.0 + 3 * self.jitter
         return np.maximum(0.05, np.clip(f, lo, hi))
 
-    def comm_factor(self, concurrent_transfers: int) -> float:
+    def comm_factor(self, concurrent_transfers: int, dataset: int | None = None) -> float:
         """Jitter plus contention for a transfer starting while
         ``concurrent_transfers`` others are active."""
-        return self.factor() * (1.0 + self.comm_interference * max(0, concurrent_transfers))
+        return self._jitter_factor() * (
+            1.0 + self.comm_interference * max(0, concurrent_transfers)
+        )
 
     @property
     def active(self) -> bool:
@@ -79,13 +109,29 @@ class NoiseModel:
 
     @property
     def stationary(self) -> bool:
-        """Is the noise distribution time-invariant?
-
-        Stationary noise admits the fast path's batched sampling; the
-        engine dispatcher falls back to the event engine for anything
-        non-stationary (see :class:`DriftNoiseModel`).
-        """
+        """Is the noise distribution time-invariant?"""
         return True
+
+    @property
+    def batchable(self) -> bool:
+        """Can :meth:`factors` price a block given per-draw context?
+
+        The fast path requires this.  Stationary models are trivially
+        batchable; non-stationary subclasses must opt in by implementing
+        context-keyed :meth:`factors` (see :class:`DriftNoiseModel`).
+        """
+        return self.stationary
+
+    @property
+    def deterministic(self) -> bool:
+        """Are draw values pure functions of their context (no RNG)?
+
+        True for jitter-free, interference-free models: every factor is
+        then reproducible from the ``dataset`` index alone, so batched and
+        per-operation sampling agree *bitwise* — the condition under which
+        the engine dispatcher may take the fast path for an active model.
+        """
+        return self.jitter == 0 and self.comm_interference == 0
 
     @staticmethod
     def silent() -> "NoiseModel":
@@ -98,35 +144,108 @@ class DriftNoiseModel(NoiseModel):
 
     Models workload drift (growing data sets, thermal throttling, slow
     interference build-up) — the regime the online adaptive runtime has to
-    detect and re-map around.  Each successive draw is inflated by
-    ``(1 + drift)``: after ``n`` operations the mean factor is
-    ``(1 + drift) ** n``.  Because the distribution depends on how much of
-    the stream has already run, batched (out-of-order) sampling would
-    change the semantics, so ``stationary`` is ``False`` and the engine
-    dispatcher always routes such runs through the event engine.
+    detect and re-map around.  The drift index is the **data-set index**:
+    every operation of data set ``d`` is inflated by ``(1 + drift)**(d+1)``
+    (execution and internal redistribution) or ``(1 + comm_drift)**(d+1)``
+    (external transfers).  Keying on the data set rather than on a draw
+    counter makes the inflation independent of draw order *and* batching,
+    so the event engine and the batched fast path price every operation
+    identically — with ``jitter=0`` and ``comm_interference=0`` a drifting
+    fast run is bit-identical to the event run.
+
+    ``comm_drift`` defaults to ``drift`` (uniform drift).  Setting them
+    apart models differential drift — e.g. compute slowing while the
+    interconnect holds steady (``comm_drift=0``) — which *moves the optimal
+    mapping* and is what makes online remapping pay; uniform drift rescales
+    every response equally and leaves the optimum unchanged.
+
+    Scale factors are materialised by cumulative multiplication (one table
+    per rate), never by ``pow``: successive multiplication gives the same
+    rounding sequence however the table is grown, keeping runs byte-stable
+    across platforms and batch splits.
+
+    Calls without a ``dataset`` context fall back to a per-draw counter
+    (the pre-context legacy semantics: draw ``n`` is scaled by
+    ``(1 + drift)**(n+1)``); such draws cannot be batched, so
+    :meth:`factors` demands explicit ``datasets`` indices.
     """
 
     def __init__(self, seed: int = 0, jitter: float = 0.02,
-                 comm_interference: float = 0.02, drift: float = 1e-5):
+                 comm_interference: float = 0.02, drift: float = 1e-5,
+                 comm_drift: float | None = None):
         super().__init__(seed=seed, jitter=jitter,
                          comm_interference=comm_interference)
         if drift < 0:
             raise ValueError("drift must be non-negative")
+        if comm_drift is not None and comm_drift < 0:
+            raise ValueError("comm_drift must be non-negative")
         self.drift = drift
-        self._scale = 1.0
+        self.comm_drift = drift if comm_drift is None else comm_drift
+        self._draws = 0  # legacy per-draw index for context-free calls
+        self._tables: dict[float, np.ndarray] = {}
 
-    def factor(self) -> float:
-        base = super().factor()
-        self._scale *= 1.0 + self.drift
-        return base * self._scale
+    # -- drift scales ------------------------------------------------------
+    def _table(self, rate: float, n: int) -> np.ndarray:
+        """``table[d] = (1 + rate)**(d+1)`` for ``d < n``, via cumprod.
 
-    def factors(self, n: int) -> np.ndarray:
-        raise ValueError("non-stationary noise cannot be sampled in batches")
+        A prefix of a cumulative product equals the cumulative product of
+        the prefix, so regrowing the table never changes existing entries.
+        """
+        tbl = self._tables.get(rate)
+        if tbl is None or len(tbl) < n:
+            size = max(n, 1024, 0 if tbl is None else 2 * len(tbl))
+            tbl = np.cumprod(np.full(size, 1.0 + rate))
+            self._tables[rate] = tbl
+        return tbl
 
+    def _scale(self, rate: float, dataset: int | None) -> float:
+        if dataset is None:
+            dataset = self._draws
+            self._draws += 1
+        if rate == 0.0:
+            return 1.0
+        return float(self._table(rate, dataset + 1)[dataset])
+
+    # -- sampling ----------------------------------------------------------
+    def factor(self, dataset: int | None = None) -> float:
+        return self._jitter_factor() * self._scale(self.drift, dataset)
+
+    def comm_factor(self, concurrent_transfers: int, dataset: int | None = None) -> float:
+        base = self._jitter_factor() * (
+            1.0 + self.comm_interference * max(0, concurrent_transfers)
+        )
+        return base * self._scale(self.comm_drift, dataset)
+
+    def factors(self, n: int, datasets=None, comm=None) -> np.ndarray:
+        if datasets is None:
+            raise ValueError(
+                "drifting noise needs per-draw context: pass datasets= "
+                "(and comm= for transfer draws) to batch-sample"
+            )
+        d = np.asarray(datasets, dtype=np.intp)
+        if d.shape != (n,):
+            raise ValueError(f"datasets must have shape ({n},), got {d.shape}")
+        base = super().factors(n)
+        top = int(d.max()) + 1 if n else 1
+        scale = self._table(self.drift, top)[d]
+        if comm is not None and self.comm_drift != self.drift:
+            mask = np.asarray(comm, dtype=bool)
+            if mask.shape != (n,):
+                raise ValueError(f"comm must have shape ({n},), got {mask.shape}")
+            scale = np.where(mask, self._table(self.comm_drift, top)[d], scale)
+        return base * scale
+
+    # -- classification ----------------------------------------------------
     @property
     def active(self) -> bool:
-        return super().active or self.drift > 0
+        return super().active or self.drift > 0 or self.comm_drift > 0
 
     @property
     def stationary(self) -> bool:
-        return self.drift == 0
+        return self.drift == 0 and self.comm_drift == 0
+
+    @property
+    def batchable(self) -> bool:
+        # The drift index is the data-set index, so batched draws with
+        # explicit ``datasets`` context reproduce per-operation draws.
+        return True

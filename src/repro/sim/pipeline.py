@@ -83,6 +83,9 @@ class SimulationResult:
     epochs: list = field(default_factory=list)     # EpochStats per window
     availability: float = 1.0          # 1 - remap downtime / makespan
     final_mapping: Mapping | None = None
+    # The AdaptiveController that drove the run (None for plain runs); its
+    # records/log expose the per-epoch monitoring the result was built from.
+    controller: object | None = None
 
     def module_utilization(self, module: int) -> float:
         """Mean busy fraction across a module's instances."""
@@ -230,7 +233,7 @@ class _Worker:
                 self._after_exec(d)
                 return
             kind, label, base = phases[idx]
-            dur = base * run.noise.factor()
+            dur = base * run.noise.factor(dataset=d)
             key = (self.module, self.instance)
             run.busy_time[key] = run.busy_time.get(key, 0.0) + dur
             t0 = sim.now
@@ -369,7 +372,9 @@ class _Run:
             return
         del self._rendezvous[key]
         (wa, cb_a), (wb, cb_b) = rv.parties
-        dur = self.edge_base[edge] * self.noise.comm_factor(self.active_transfers)
+        dur = self.edge_base[edge] * self.noise.comm_factor(
+            self.active_transfers, dataset=dataset
+        )
         if self.hop_factor:
             sender = wa if wa.module == edge else wb
             receiver = wb if sender is wa else wa
@@ -638,8 +643,10 @@ def _resolve_engine(engine: str, noise: NoiseModel,
     ``"auto"`` is deliberately conservative: it takes the fast path only
     when the run is *provably equivalent* — no faults, no active noise, no
     trace — so the default engine never changes any observable result, bit
-    for bit.  ``"fast"`` additionally admits stationary jitter (batched
-    draws: statistically, not bitwise, equivalent) and raises for anything
+    for bit.  ``"fast"`` additionally admits batchable noise — stationary
+    jitter (batched draws: statistically, not bitwise, equivalent) and
+    dataset-indexed drift (bit-identical when jitter-free, see
+    :class:`~repro.sim.noise.DriftNoiseModel`) — and raises for anything
     the recurrence cannot represent.
     """
     faults_active = faults is not None and faults.active
@@ -655,9 +662,10 @@ def _resolve_engine(engine: str, noise: NoiseModel,
             raise SimulationError(
                 "fast engine does not record traces; use engine='event'"
             )
-        if not noise.stationary:
+        if not noise.batchable:
             raise SimulationError(
-                "fast engine requires stationary noise; use engine='event'"
+                "fast engine needs batchable noise (stationary, or "
+                "context-keyed like DriftNoiseModel); use engine='event'"
             )
         if noise.comm_interference > 0:
             raise SimulationError(
@@ -676,7 +684,7 @@ def _resolve_engine(engine: str, noise: NoiseModel,
 
 def simulate(
     chain: TaskChain,
-    mapping: Mapping,
+    mapping: Mapping | None,
     n_datasets: int = 200,
     noise: NoiseModel | None = None,
     collect_trace: bool = False,
@@ -686,6 +694,7 @@ def simulate(
     faults: FaultModel | None = None,
     engine: str = "auto",
     queue: str = "heap",
+    controller=None,
 ) -> SimulationResult:
     """Run the pipeline on ``n_datasets`` inputs and measure its behaviour.
 
@@ -714,7 +723,38 @@ def simulate(
     call cannot absorb — a module losing its last instance, or a data set
     that needs an end-of-stream replay — raises :class:`SimulationError`;
     use :func:`simulate_fault_tolerant` for those scenarios.
+
+    ``controller`` (an :class:`~repro.sim.controller.AdaptiveController`)
+    hands the run to the online adaptive drive loop: the stream executes in
+    epochs, the controller watches observed rates against its DP
+    prediction, and sustained drift triggers incremental re-solves and
+    (when the payback clears the remap latency) live remaps.  ``mapping``
+    may then be ``None`` to start from the controller's own DP solution;
+    faults and traces are not supported on controlled runs.
     """
+    if controller is not None:
+        if faults is not None and faults.active:
+            raise SimulationError(
+                "the adaptive controller does not drive faulted runs; use "
+                "simulate_fault_tolerant()"
+            )
+        if collect_trace:
+            raise SimulationError(
+                "controlled runs do not record traces; use engine='event' "
+                "without a controller"
+            )
+        from .controller import drive
+
+        return drive(
+            chain, controller, n_datasets,
+            mapping=mapping,
+            noise=noise or NoiseModel.silent(),
+            warmup_fraction=warmup_fraction,
+            engine=engine,
+            queue=queue,
+        )
+    if mapping is None:
+        raise SimulationError("mapping may only be omitted on controlled runs")
     if n_datasets < 2:
         raise SimulationError("need at least 2 data sets to measure throughput")
     if placements is not None and len(placements) != len(mapping):

@@ -6,6 +6,7 @@ Subcommands
 ``simulate``    map, then measure the chosen mapping on the simulator
 ``trace``       simulate and render an execution trace (``--svg``)
 ``faults``      run the fault-tolerance study (degrade / remap / availability)
+``adapt``       run a drifting stream under the adaptive remapping controller
 ``table1``      regenerate the paper's Table 1
 ``table2``      regenerate the paper's Table 2
 ``figures``     regenerate Figures 1–6
@@ -93,6 +94,30 @@ def build_parser() -> argparse.ArgumentParser:
         "faults", help="fault-tolerance study: degrade, remap, availability"
     )
     p_faults.add_argument("--datasets", type=int, default=120)
+
+    p_adapt = sub.add_parser(
+        "adapt",
+        help="online adaptive runtime: drift-aware remapping vs static",
+    )
+    add_workload_args(p_adapt)
+    p_adapt.add_argument("--datasets", type=int, default=20000)
+    p_adapt.add_argument("--epoch", type=int, default=1000,
+                         help="data sets per monitoring epoch")
+    p_adapt.add_argument("--drift", type=float, default=2e-5,
+                         help="per-data-set execution slowdown")
+    p_adapt.add_argument("--comm-drift", type=float, default=0.0,
+                         help="per-data-set communication slowdown")
+    p_adapt.add_argument("--jitter", type=float, default=0.0,
+                         help="multiplicative duration jitter (forces the "
+                              "event engine when > 0)")
+    p_adapt.add_argument("--noise-seed", type=int, default=0)
+    p_adapt.add_argument("--dead-band", type=float, default=0.04)
+    p_adapt.add_argument("--adapt-latency", type=float, default=0.5,
+                         help="downtime charged per drift-triggered remap")
+    p_adapt.add_argument("--oracle", action="store_true",
+                         help="also run the re-solve-every-epoch oracle")
+    p_adapt.add_argument("--static", action="store_true",
+                         help="monitor only: never remap")
 
     sub.add_parser("table1", help="regenerate Table 1")
     sub.add_parser("table2", help="regenerate Table 2")
@@ -245,6 +270,60 @@ def _cmd_simulate(args) -> int:
     return 0
 
 
+def _cmd_adapt(args) -> int:
+    from ..sim.controller import AdaptiveController, ControllerConfig
+    from ..sim.noise import DriftNoiseModel
+
+    machine = machine_by_name(args.machine)
+    workload = workload_by_name(args.workload, machine)
+    chain = workload.chain
+    procs = machine.total_procs
+    mem = machine.mem_per_proc_mb
+
+    def run(label, **cfg_kw):
+        cfg = ControllerConfig(
+            epoch_datasets=args.epoch, dead_band=args.dead_band,
+            remap_latency=args.adapt_latency, **cfg_kw,
+        )
+        ctrl = AdaptiveController(chain, procs, mem_per_proc_mb=mem, config=cfg)
+        noise = DriftNoiseModel(
+            seed=args.noise_seed, jitter=args.jitter, comm_interference=0.0,
+            drift=args.drift, comm_drift=args.comm_drift,
+        )
+        result = measure(
+            workload, ctrl.mapping, n_datasets=args.datasets, noise=noise,
+            controller=ctrl,
+        )
+        print(f"{label:9s}: {result.throughput:.4g} data sets/s, "
+              f"{ctrl.remap_count} remap(s), {ctrl.resolves} DP solve(s), "
+              f"{ctrl.evictions} cache evictions [{result.engine}]")
+        for rec in result.remaps:
+            print(f"  t={rec.time:9.2f}  "
+                  f"{format_mapping(rec.old_mapping, chain)}  ->  "
+                  f"{format_mapping(rec.new_mapping, chain)}")
+        return result
+
+    print(f"workload : {workload}")
+    print(f"machine  : {machine}")
+    print(f"drift    : exec {args.drift:g}/data set, "
+          f"comm {args.comm_drift:g}/data set over {args.datasets} data sets")
+    if args.static:
+        run("static", adapt=False)
+        return 0
+    static = run("static", adapt=False)
+    adaptive = run("adaptive")
+    if args.oracle:
+        oracle = run("oracle", oracle=True)
+        gap = oracle.throughput - static.throughput
+        if gap > 0:
+            rec = (adaptive.throughput - static.throughput) / gap
+            print(f"recovered : {100 * rec:.1f}% of the static-to-oracle gap")
+    else:
+        gain = (adaptive.throughput - static.throughput) / static.throughput
+        print(f"gain      : {100 * gain:+.2f}% over static")
+    return 0
+
+
 def _cmd_figures(only: int | None) -> int:
     from .. import experiments as ex
 
@@ -310,6 +389,8 @@ def main(argv: list[str] | None = None) -> int:
 
         print(ex.table2.render(ex.table2.run()))
         return 0
+    if args.command == "adapt":
+        return _cmd_adapt(args)
     if args.command == "faults":
         from .. import experiments as ex
 

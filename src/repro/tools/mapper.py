@@ -104,6 +104,7 @@ def measure(
     faults: FaultModel | None = None,
     remap_latency: float = 0.05,
     engine: str = "auto",
+    controller=None,
 ) -> SimulationResult:
     """Measure a mapping on the "real" system (the true-cost simulator).
 
@@ -112,7 +113,23 @@ def measure(
     workload's machine, minus lost processors) when a module loses its
     last instance.  ``engine`` selects the healthy-run executor (see
     :func:`repro.sim.simulate`); faulted runs always use the event engine.
+
+    A ``controller`` (:class:`repro.sim.AdaptiveController`) puts the run
+    under the online adaptive runtime instead: the stream executes in
+    epochs and the controller may remap mid-stream when the observed rate
+    drifts off its prediction.  Faults and the controller are mutually
+    exclusive.
     """
+    if controller is not None:
+        if faults is not None and faults.active:
+            raise ValueError(
+                "measure() cannot combine faults with the adaptive "
+                "controller; pick one orchestrator"
+            )
+        return simulate(
+            workload.chain, mapping, n_datasets=n_datasets, noise=noise,
+            engine=engine, controller=controller,
+        )
     if faults is not None and faults.active:
         machine = workload.machine
         return simulate_fault_tolerant(

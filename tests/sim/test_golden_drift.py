@@ -1,0 +1,63 @@
+"""Golden drift trace: the controller's monitoring log is byte-stable.
+
+A seeded :class:`DriftNoiseModel` stream driven by the adaptive controller
+must produce a monitoring log (``AdaptiveController.dumps()``) that is
+byte-identical across runs, engines, and — via the committed fixture —
+across commits.  Any change to epoch accounting, EWMA arithmetic, the
+least-squares diagnosis, the hysteresis gates, or the DP itself shows up
+as a diff against ``golden/drift_controller.txt``.
+
+Regenerate (after an *intentional* behaviour change only)::
+
+    PYTHONPATH=src:. python tests/sim/test_golden_drift.py
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+from repro.experiments.drift_study import MACHINE_PROCS, study_chain
+from repro.sim import AdaptiveController, ControllerConfig, DriftNoiseModel, simulate
+
+GOLDEN = Path(__file__).parent / "golden" / "drift_controller.txt"
+
+
+def _golden_run(engine: str = "auto") -> AdaptiveController:
+    chain = study_chain()
+    ctrl = AdaptiveController(
+        chain, MACHINE_PROCS,
+        config=ControllerConfig(epoch_datasets=500, remap_latency=60.0),
+    )
+    noise = DriftNoiseModel(
+        seed=7, jitter=0.0, comm_interference=0.0, drift=2e-4, comm_drift=0.0,
+    )
+    simulate(chain, None, 6_000, noise=noise, controller=ctrl, engine=engine)
+    return ctrl
+
+
+def test_drift_log_matches_golden_fixture():
+    assert GOLDEN.exists(), (
+        f"golden fixture missing; regenerate with "
+        f"`PYTHONPATH=src:. python {Path(__file__).name}`"
+    )
+    assert _golden_run().dumps() == GOLDEN.read_text()
+
+
+def test_drift_log_reproducible_across_runs():
+    assert _golden_run().dumps() == _golden_run().dumps()
+
+
+def test_event_engine_reproduces_the_same_log():
+    assert _golden_run(engine="event").dumps() == GOLDEN.read_text()
+
+
+def test_golden_scenario_exercises_a_remap():
+    ctrl = _golden_run()
+    assert ctrl.remap_count >= 1
+    assert any(r.action == "remap" for r in ctrl.records)
+
+
+if __name__ == "__main__":
+    GOLDEN.parent.mkdir(parents=True, exist_ok=True)
+    GOLDEN.write_text(_golden_run().dumps())
+    print(f"wrote {GOLDEN}")

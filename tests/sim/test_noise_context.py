@@ -1,0 +1,134 @@
+"""Dataset-context noise draws: batch and per-op paths must agree.
+
+Regression suite for the drift-index inconsistency: the event engine
+prices each operation one at a time (``factor(dataset=d)``) while the
+fast path prices whole epochs in one vectorised call
+(``factors(n, datasets=..., comm=...)``).  Deterministic drift must
+yield bit-identical factors either way — the drift index is the *data-set
+index*, never the draw count — or the two engines diverge.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import Mapping, ModuleSpec
+from repro.experiments.drift_study import study_chain
+from repro.sim import DriftNoiseModel, NoiseModel, simulate
+
+
+def drift_noise(drift=1e-3, comm_drift=0.0):
+    return DriftNoiseModel(
+        seed=3, jitter=0.0, comm_interference=0.0,
+        drift=drift, comm_drift=comm_drift,
+    )
+
+
+class TestDriftContext:
+    def test_batch_factors_match_per_op_exec(self):
+        noise = drift_noise()
+        datasets = np.array([0, 5, 2, 999, 2, 17], dtype=np.int64)
+        batch = noise.factors(len(datasets), datasets=datasets)
+        per_op = [drift_noise().factor(dataset=int(d)) for d in datasets]
+        assert batch.tolist() == per_op        # bit-identical
+
+    def test_batch_comm_mask_matches_per_op_comm(self):
+        noise = drift_noise(drift=1e-3, comm_drift=5e-4)
+        datasets = np.array([0, 3, 3, 40, 7], dtype=np.int64)
+        comm = np.array([False, True, False, True, True])
+        batch = noise.factors(len(datasets), datasets=datasets, comm=comm)
+        fresh = drift_noise(drift=1e-3, comm_drift=5e-4)
+        per_op = [
+            fresh.comm_factor(0.0, dataset=int(d)) if c
+            else fresh.factor(dataset=int(d))
+            for d, c in zip(datasets, comm)
+        ]
+        assert batch.tolist() == per_op
+
+    def test_batch_split_invariance(self):
+        noise = drift_noise()
+        datasets = np.arange(100, dtype=np.int64) % 13
+        whole = noise.factors(len(datasets), datasets=datasets)
+        halves = np.concatenate([
+            drift_noise().factors(50, datasets=datasets[:50]),
+            drift_noise().factors(50, datasets=datasets[50:]),
+        ])
+        assert np.array_equal(whole, halves)
+
+    def test_draw_order_does_not_move_the_drift_index(self):
+        a = drift_noise()
+        b = drift_noise()
+        # a burns unrelated draws first; the dataset keyed factor must not move.
+        for d in (9, 1, 400):
+            a.factor(dataset=d)
+        assert a.factor(dataset=7) == b.factor(dataset=7)
+        assert (a.comm_factor(0.0, dataset=31)
+                == b.comm_factor(0.0, dataset=31))
+
+    def test_context_free_draws_keep_legacy_counter(self):
+        noise = drift_noise(drift=1e-2)
+        first = noise.factor()
+        second = noise.factor()
+        assert second > first                  # counter advanced
+        assert first == drift_noise(drift=1e-2).factor()
+
+    def test_drift_factors_require_datasets(self):
+        with pytest.raises(ValueError, match="datasets"):
+            drift_noise().factors(4)
+
+    def test_stationary_base_model_allows_datasets_free_batch(self):
+        noise = NoiseModel.silent()
+        assert noise.factors(5).tolist() == [1.0] * 5
+
+
+class TestClassification:
+    def test_silent_base_model_flags(self):
+        noise = NoiseModel.silent()
+        assert not noise.active
+        assert noise.stationary and noise.batchable and noise.deterministic
+
+    def test_jittered_base_model_flags(self):
+        noise = NoiseModel(seed=1, jitter=0.05, comm_interference=0.0)
+        assert noise.active and noise.stationary and noise.batchable
+        assert not noise.deterministic
+
+    def test_deterministic_drift_flags(self):
+        noise = drift_noise()
+        assert noise.active and noise.batchable and noise.deterministic
+        assert not noise.stationary
+
+    def test_jittered_drift_flags(self):
+        noise = DriftNoiseModel(
+            seed=1, jitter=0.05, comm_interference=0.0, drift=1e-4,
+        )
+        assert noise.active and noise.batchable
+        assert not noise.stationary and not noise.deterministic
+
+
+class TestEngineAgreement:
+    def test_plain_fast_run_matches_event_under_drift(self):
+        """The original regression: uncontrolled fast vs event simulation
+        on a drifting stream must agree bit-for-bit."""
+        chain = study_chain()
+        mapping = Mapping([ModuleSpec(0, 3, 12, 1)])
+        runs = {}
+        for engine in ("fast", "event"):
+            runs[engine] = simulate(
+                chain, mapping, 400, noise=drift_noise(drift=5e-4),
+                engine=engine,
+            )
+        fast, event = runs["fast"], runs["event"]
+        assert np.array_equal(fast.completions, event.completions)
+        assert np.array_equal(fast.injections, event.injections)
+        assert fast.throughput == event.throughput
+        assert fast.busy_fractions == event.busy_fractions
+
+    def test_plain_auto_stays_on_event_under_drift(self):
+        """Uncontrolled ``auto`` keeps its conservative PR-6 policy (any
+        active noise -> event engine); only the controller's drive loop
+        opts deterministic drift into fast epochs."""
+        chain = study_chain()
+        mapping = Mapping([ModuleSpec(0, 3, 12, 1)])
+        result = simulate(chain, mapping, 200, noise=drift_noise())
+        assert result.engine == "event"
