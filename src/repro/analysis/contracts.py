@@ -1,0 +1,336 @@
+"""Cross-module protocol-contract checking.
+
+The simulator and solver are glued together by informal protocols: any
+:class:`~repro.sim.noise.NoiseModel` subclass must expose the full
+``factor``/``factors``/``comm_factor`` surface with compatible
+signatures (the fast path batch-prices through ``factors`` while the
+event engine calls ``factor`` per operation — a subclass that narrows
+either signature breaks one engine silently), and every cost model must
+implement the ``UnaryCost``/``BinaryCost`` evaluate surface the DP
+vectorises over.
+
+Rather than hand-maintaining signature tables that drift, the contract is
+*derived from the AST of the base class itself*: the engine indexes every
+class definition in the linted tree, the checker extracts the base's
+method signatures, and each subclass override is compared against them.
+A base method whose body is just ``raise NotImplementedError`` is an
+abstract requirement — some class in the subclass's inheritance chain
+must define it.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+
+from .diagnostics import Diagnostic, Severity
+from .rules import Rule, RuleContext, _emit
+
+__all__ = [
+    "ClassIndex", "ContractSpec", "DEFAULT_CONTRACTS", "check_contracts",
+    "CONTRACT_RULE",
+]
+
+
+@dataclass
+class _ClassDef:
+    name: str
+    path: str
+    node: ast.ClassDef
+    bases: list[str]                       # base names as written (last dotted part)
+    methods: dict[str, ast.FunctionDef] = field(default_factory=dict)
+    properties: set[str] = field(default_factory=set)
+
+
+@dataclass
+class ContractSpec:
+    """One protocol: the base class whose surface subclasses must honour."""
+
+    base: str                  # class name rooting the protocol
+    description: str
+
+
+DEFAULT_CONTRACTS: tuple[ContractSpec, ...] = (
+    ContractSpec(
+        "NoiseModel",
+        "noise models must keep the factor/factors/comm_factor surface "
+        "both simulation engines dispatch through",
+    ),
+    ContractSpec(
+        "UnaryCost",
+        "unary cost models must implement the vectorised evaluate surface",
+    ),
+    ContractSpec(
+        "BinaryCost",
+        "binary cost models must implement the vectorised evaluate surface",
+    ),
+)
+
+
+class ClassIndex:
+    """Every class definition across the linted tree, by name.
+
+    Names are indexed unqualified (the repo has no class-name collisions;
+    a collision would make contract resolution ambiguous, so it is
+    reported rather than guessed through).
+    """
+
+    def __init__(self):
+        self.classes: dict[str, _ClassDef] = {}
+        self.collisions: dict[str, list[str]] = {}
+
+    def add_file(self, path: str, tree: ast.AST) -> None:
+        for node in ast.walk(tree):
+            if not isinstance(node, ast.ClassDef):
+                continue
+            cd = _ClassDef(
+                name=node.name, path=path, node=node,
+                bases=[_base_name(b) for b in node.bases],
+            )
+            for item in node.body:
+                if isinstance(item, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                    if _is_property(item):
+                        cd.properties.add(item.name)
+                    else:
+                        cd.methods[item.name] = item
+            if node.name in self.classes:
+                self.collisions.setdefault(
+                    node.name, [self.classes[node.name].path]
+                ).append(path)
+            else:
+                self.classes[node.name] = cd
+
+    def subclasses_of(self, base: str) -> list[_ClassDef]:
+        """All classes whose inheritance chain (within the tree) reaches
+        ``base``, nearest ancestors first in their chain."""
+        out = []
+        for cd in self.classes.values():
+            if cd.name != base and base in self._ancestry(cd.name, set()):
+                out.append(cd)
+        return sorted(out, key=lambda c: (c.path, c.node.lineno))
+
+    def _ancestry(self, name: str, seen: set[str]) -> set[str]:
+        if name in seen:
+            return set()
+        seen.add(name)
+        cd = self.classes.get(name)
+        if cd is None:
+            return set()
+        anc: set[str] = set()
+        for b in cd.bases:
+            anc.add(b)
+            anc |= self._ancestry(b, seen)
+        return anc
+
+    def chain(self, name: str) -> list[_ClassDef]:
+        """The class plus its tree-visible ancestors, subclass first."""
+        out: list[_ClassDef] = []
+        stack = [name]
+        seen: set[str] = set()
+        while stack:
+            n = stack.pop(0)
+            if n in seen:
+                continue
+            seen.add(n)
+            cd = self.classes.get(n)
+            if cd is None:
+                continue
+            out.append(cd)
+            stack.extend(cd.bases)
+        return out
+
+
+def _base_name(node: ast.expr) -> str:
+    while isinstance(node, ast.Attribute):
+        return node.attr
+    if isinstance(node, ast.Name):
+        return node.id
+    if isinstance(node, ast.Subscript):          # Generic[...] style
+        return _base_name(node.value)
+    return ""
+
+
+def _is_property(fn: ast.FunctionDef) -> bool:
+    for dec in fn.decorator_list:
+        name = dec.id if isinstance(dec, ast.Name) else (
+            dec.attr if isinstance(dec, ast.Attribute) else None
+        )
+        if name in ("property", "cached_property", "setter"):
+            return True
+    return False
+
+
+def _is_abstract(fn: ast.FunctionDef) -> bool:
+    """A body of (docstring +) ``raise NotImplementedError`` — or an
+    @abstractmethod decorator — marks a required override."""
+    for dec in fn.decorator_list:
+        if _base_name(dec) == "abstractmethod" or (
+            isinstance(dec, ast.Name) and dec.id == "abstractmethod"
+        ):
+            return True
+    body = [
+        s for s in fn.body
+        if not (isinstance(s, ast.Expr) and isinstance(s.value, ast.Constant))
+    ]
+    if len(body) != 1 or not isinstance(body[0], ast.Raise):
+        return False
+    exc = body[0].exc
+    if isinstance(exc, ast.Call):
+        exc = exc.func
+    return isinstance(exc, ast.Name) and exc.id == "NotImplementedError"
+
+
+@dataclass(frozen=True)
+class _Param:
+    name: str
+    has_default: bool
+
+
+def _signature(fn: ast.FunctionDef) -> tuple[list[_Param], bool, bool]:
+    """Positional parameter list (without self) + *args/**kwargs flags."""
+    a = fn.args
+    pos = list(a.posonlyargs) + list(a.args)
+    defaults = [None] * (len(pos) - len(a.defaults)) + list(a.defaults)
+    params = [
+        _Param(p.arg, d is not None) for p, d in zip(pos, defaults)
+    ]
+    if params and params[0].name in ("self", "cls"):
+        params = params[1:]
+    return params, a.vararg is not None, a.kwarg is not None
+
+
+def _compatible(base: ast.FunctionDef, sub: ast.FunctionDef) -> str | None:
+    """Why is ``sub`` not a drop-in replacement for ``base``?  None if ok."""
+    bparams, bvar, bkw = _signature(base)
+    sparams, svar, skw = _signature(sub)
+    if svar and skw:
+        return None                      # (*args, **kwargs) accepts anything
+    for i, bp in enumerate(bparams):
+        if i >= len(sparams):
+            if (bp.has_default and skw) or svar:
+                continue
+            return (
+                f"drops parameter '{bp.name}' — callers passing it "
+                f"positionally or by name will break"
+            )
+        sp = sparams[i]
+        if sp.name != bp.name:
+            return (
+                f"renames parameter '{bp.name}' to '{sp.name}' — keyword "
+                f"callers of the protocol will break"
+            )
+        if bp.has_default and not sp.has_default:
+            return (
+                f"removes the default of parameter '{bp.name}' — protocol "
+                f"callers that omit it will break"
+            )
+    for sp in sparams[len(bparams):]:
+        if not sp.has_default:
+            return (
+                f"adds required parameter '{sp.name}' — protocol callers "
+                f"do not pass it"
+            )
+    return None
+
+
+def check_contracts(
+    index: ClassIndex,
+    contracts: tuple[ContractSpec, ...],
+    contexts: dict[str, RuleContext],
+    rule: Rule,
+) -> list[Diagnostic]:
+    """Run every contract against the class index.
+
+    ``contexts`` maps file path -> that file's RuleContext, so findings
+    land in the right file's diagnostic stream (and get that file's
+    pragmas applied).
+    """
+    out: list[Diagnostic] = []
+
+    def emit(cd: _ClassDef, node: ast.AST, message: str):
+        ctx = contexts.get(cd.path)
+        if ctx is not None:
+            _emit(ctx, rule, node, message)
+        else:  # pragma: no cover - every indexed file has a context
+            out.append(
+                Diagnostic(
+                    rule.name, rule.severity, cd.path,
+                    getattr(node, "lineno", 1),
+                    getattr(node, "col_offset", 0), message,
+                )
+            )
+
+    for spec in contracts:
+        base = index.classes.get(spec.base)
+        if base is None:
+            continue
+        abstract = {
+            name for name, fn in base.methods.items() if _is_abstract(fn)
+        }
+        for sub in index.subclasses_of(spec.base):
+            chain = index.chain(sub.name)
+            defined = set()
+            for cd in chain:
+                if cd.name == spec.base:
+                    break
+                defined |= set(cd.methods) | cd.properties
+            # (a) every abstract base method is implemented somewhere in
+            # the subclass's tree-visible chain below the base.
+            for name in sorted(abstract - defined):
+                emit(
+                    sub, sub.node,
+                    f"class '{sub.name}' implements the {spec.base} "
+                    f"protocol but never defines required method "
+                    f"'{name}' ({spec.description})",
+                )
+            # (b) every override keeps a compatible signature.
+            for name, bfn in sorted(base.methods.items()):
+                sfn = sub.methods.get(name)
+                if sfn is None or _is_property(sfn):
+                    continue
+                why = _compatible(bfn, sfn)
+                if why is not None:
+                    emit(
+                        sub, sfn,
+                        f"'{sub.name}.{name}' is signature-incompatible "
+                        f"with '{spec.base}.{name}': {why}",
+                    )
+            # (c) a base property must stay a property (an override that
+            # turns it into a method changes every call site).
+            for pname in sorted(base.properties):
+                if pname in sub.methods and not _is_property(sub.methods[pname]):
+                    emit(
+                        sub, sub.methods[pname],
+                        f"'{sub.name}.{pname}' overrides {spec.base} "
+                        f"property '{pname}' with a plain method — "
+                        f"attribute access now returns a bound method",
+                    )
+    # A name collision only matters when the name takes part in contract
+    # resolution (it is a contract base, or sits in the ancestry of a
+    # contract implementation) — duplicated private helpers are fine.
+    relevant: set[str] = set()
+    for spec in contracts:
+        if spec.base in index.classes:
+            relevant.add(spec.base)
+            for sub in index.subclasses_of(spec.base):
+                relevant.add(sub.name)
+                relevant |= index._ancestry(sub.name, set())
+    for name, paths in sorted(index.collisions.items()):
+        if name not in relevant:
+            continue
+        first = index.classes[name]
+        emit(
+            first, first.node,
+            f"class name '{name}' is defined in multiple files "
+            f"({', '.join(sorted(set(paths + [first.path])))}) — contract "
+            f"resolution by name is ambiguous",
+        )
+    return out
+
+
+CONTRACT_RULE = Rule(
+    "protocol-contract", Severity.ERROR,
+    "cross-module protocol implementations must keep the full method "
+    "surface with compatible signatures",
+    check=lambda ctx, rule: None,      # driven by the engine's tree pass
+)

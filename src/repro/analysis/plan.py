@@ -1,0 +1,441 @@
+"""Static mapping-plan verifier.
+
+A mapping produced offline (a saved JSON, a hand-written plan, a future
+ILP/metaheuristic backend) is vetted here *without running the
+simulator*: structural tiling, processor budget, replication legality,
+memory minimums, machine geometry (rectangularity / packing / pathway
+caps via :mod:`repro.machine.feasibility`), and — for degradation plans —
+deadlock-freedom of the ascending-queue redistribution.
+
+The deadlock check is the static image of the simulator's runtime
+invariant (:meth:`repro.sim.pipeline._Run.reassign_or_drop`): an orphaned
+data set may only move to a surviving instance that has not started a
+larger data set (``high < dataset``).  Inserting behind a larger
+in-flight data set breaks the ascending-queue invariant, and the blocking
+rendezvous protocol then deadlocks — the downstream owner of the smaller
+data set waits on a producer that is blocked sending the larger one.
+The seed code only discovered such plans mid-simulation; this verifier
+rejects them before anything executes.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import TYPE_CHECKING
+
+from ..core.exceptions import PlanError
+from ..core.mapping import Mapping, ModuleSpec
+from ..core.task import TaskChain
+from ..core.validate import PlanViolation, preflight
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..machine.machine import MachineSpec
+
+__all__ = [
+    "QueueState",
+    "Reassignment",
+    "StaticPlan",
+    "PlanReport",
+    "load_plan",
+    "verify_structure",
+    "verify_redistribution",
+    "verify_plan",
+]
+
+_STAGES = ("recv", "exec", "send")
+
+
+@dataclass(frozen=True)
+class QueueState:
+    """One module instance's queue position at redistribution time.
+
+    ``high`` is the largest data-set index the instance has started
+    (``-1`` when it has started nothing); ``alive`` is False for an
+    instance lost to a processor failure.
+    """
+
+    module: int
+    instance: int
+    high: int = -1
+    alive: bool = True
+
+
+@dataclass(frozen=True)
+class Reassignment:
+    """Hand orphaned data set ``dataset`` (resuming at ``stage``) to
+    instance ``instance`` of module ``module``."""
+
+    module: int
+    dataset: int
+    stage: str
+    instance: int
+
+
+@dataclass
+class StaticPlan:
+    """A plan to verify: raw modules plus whatever context is known.
+
+    ``modules`` stays raw (list of dicts) so structural violations —
+    gaps, overlaps, non-positive processor counts — are *reported* rather
+    than thrown during :class:`~repro.core.mapping.Mapping` construction,
+    which stops at the first problem.
+    """
+
+    modules: list[dict]
+    chain: TaskChain | None = None
+    machine: "MachineSpec | None" = None
+    total_procs: int | None = None
+    mem_per_proc_mb: float | None = None
+    queues: list[QueueState] = field(default_factory=list)
+    moves: list[Reassignment] = field(default_factory=list)
+    source: str = "<memory>"
+
+    @classmethod
+    def from_mapping(cls, mapping: Mapping, **kw) -> "StaticPlan":
+        return cls(modules=[m.to_dict() for m in mapping.modules], **kw)
+
+    @classmethod
+    def from_dict(cls, payload: dict, source: str = "<dict>") -> "StaticPlan":
+        """Build from a persisted JSON payload.
+
+        Accepts the three on-disk kinds: ``mapping`` (from
+        :func:`~repro.tools.persist.save_mapping`), ``plan`` (from
+        :func:`~repro.tools.persist.save_plan_summary`, which embeds the
+        fitted chain and machine name), and ``plan-check`` (the explicit
+        verifier format, optionally carrying a redistribution section).
+        """
+        kind = payload.get("kind", "plan-check")
+        if kind == "mapping":
+            modules = payload.get("modules", [])
+            chain = None
+        else:
+            modules = payload.get("mapping", {}).get("modules", [])
+            chain_d = payload.get("fitted_chain") or payload.get("chain")
+            chain = TaskChain.from_dict(chain_d) if chain_d else None
+        machine = _resolve_machine(payload.get("machine"))
+        total = payload.get("total_procs")
+        if total is None and machine is not None:
+            total = machine.total_procs
+        mem = payload.get("mem_per_proc_mb")
+        if mem is None and machine is not None:
+            mem = machine.mem_per_proc_mb
+        redist = payload.get("redistribution") or {}
+        queues = [
+            QueueState(
+                int(q["module"]), int(q["instance"]),
+                int(q.get("high", -1)), bool(q.get("alive", True)),
+            )
+            for q in redist.get("queues", [])
+        ]
+        moves = [
+            Reassignment(
+                int(m["module"]), int(m["dataset"]),
+                str(m.get("stage", "exec")), int(m["instance"]),
+            )
+            for m in redist.get("moves", [])
+        ]
+        return cls(
+            modules=list(modules), chain=chain, machine=machine,
+            total_procs=total, mem_per_proc_mb=mem,
+            queues=queues, moves=moves, source=source,
+        )
+
+
+def _resolve_machine(name):
+    """Preset lookup tolerant of both CLI keys and spec names."""
+    if name is None or not isinstance(name, str):
+        return name                      # already a MachineSpec (or absent)
+    from ..machine import PRESETS, by_name
+
+    try:
+        return by_name(name)
+    except KeyError:
+        for key in PRESETS:
+            spec = by_name(key)
+            if spec.name == name:
+                return spec
+    return None
+
+
+@dataclass
+class PlanReport:
+    """Every violation the static verifier found."""
+
+    violations: list[PlanViolation]
+    source: str = "<memory>"
+    checked: tuple[str, ...] = ()        # which check families ran
+
+    @property
+    def ok(self) -> bool:
+        return not self.violations
+
+    def raise_if_invalid(self) -> None:
+        if self.violations:
+            raise PlanError(self.violations)
+
+    def to_dict(self) -> dict:
+        return {
+            "format": "repro-plan-check/v1",
+            "source": self.source,
+            "ok": self.ok,
+            "checked": list(self.checked),
+            "violations": [v.to_dict() for v in self.violations],
+        }
+
+    def to_json(self) -> str:
+        return json.dumps(self.to_dict(), indent=2)
+
+    def render(self) -> str:
+        if self.ok:
+            return (
+                f"plan ok ({', '.join(self.checked)} checked)"
+            )
+        lines = [f"plan rejected: {len(self.violations)} violation(s)"]
+        lines += [f"  {v}" for v in self.violations]
+        return "\n".join(lines)
+
+
+# ---------------------------------------------------------------------------
+# Check families
+# ---------------------------------------------------------------------------
+
+
+def verify_structure(modules: list[dict]) -> list[PlanViolation]:
+    """Tiling and field sanity on raw module dicts.
+
+    Reports *every* structural problem (gap, overlap, bad span, bad
+    counts) — unlike :class:`~repro.core.mapping.Mapping` construction,
+    which raises at the first.
+    """
+    v: list[PlanViolation] = []
+    if not modules:
+        return [PlanViolation("structure", "a plan needs at least one module")]
+    parsed = []
+    for i, m in enumerate(modules):
+        try:
+            start = int(m["start"])
+            stop = int(m["stop"])
+            procs = int(m["procs"])
+            replicas = int(m.get("replicas", 1))
+        except (KeyError, TypeError, ValueError) as exc:
+            v.append(
+                PlanViolation(
+                    "structure", f"module entry {i} is malformed: {exc!r}",
+                    module=i,
+                )
+            )
+            continue
+        if stop < start or start < 0:
+            v.append(
+                PlanViolation(
+                    "structure", f"bad module span [{start}, {stop}]",
+                    module=i,
+                )
+            )
+        if procs < 1:
+            v.append(
+                PlanViolation(
+                    "structure",
+                    f"module needs at least one processor per instance, "
+                    f"has {procs}", module=i,
+                )
+            )
+        if replicas < 1:
+            v.append(
+                PlanViolation(
+                    "structure",
+                    f"module needs at least one instance, has {replicas}",
+                    module=i,
+                )
+            )
+        parsed.append((i, start, stop))
+    parsed.sort(key=lambda t: t[1])
+    pos = 0
+    for i, start, stop in parsed:
+        if start > pos:
+            v.append(
+                PlanViolation(
+                    "structure",
+                    f"non-contiguous clustering: tasks {pos}..{start - 1} "
+                    f"belong to no module", module=i,
+                )
+            )
+        elif start < pos:
+            v.append(
+                PlanViolation(
+                    "structure",
+                    f"modules overlap at task {start}", module=i,
+                )
+            )
+        pos = max(pos, stop + 1)
+    return v
+
+
+def verify_redistribution(
+    replicas: list[int],
+    queues: list[QueueState],
+    moves: list[Reassignment],
+) -> list[PlanViolation]:
+    """Deadlock-freedom of a proposed ascending-queue redistribution.
+
+    ``replicas`` is the per-module instance count of the mapping the
+    stream is degrading under.  Every move must target a *surviving*
+    instance whose high-water mark is below the moved data set; anything
+    else either loses the data set (dead target — downstream waits
+    forever) or breaks queue ascent (the rendezvous cycle described in
+    the module docstring).
+    """
+    v: list[PlanViolation] = []
+    state: dict[tuple[int, int], QueueState] = {}
+    for q in queues:
+        if not 0 <= q.module < len(replicas):
+            v.append(
+                PlanViolation(
+                    "structure",
+                    f"queue state names module {q.module}; the mapping has "
+                    f"{len(replicas)} modules", module=q.module,
+                )
+            )
+            continue
+        if not 0 <= q.instance < replicas[q.module]:
+            v.append(
+                PlanViolation(
+                    "structure",
+                    f"queue state names instance {q.instance} of module "
+                    f"{q.module}, which has {replicas[q.module]} instances",
+                    module=q.module,
+                )
+            )
+            continue
+        state[(q.module, q.instance)] = q
+    highs = {key: q.high for key, q in state.items()}
+    seen: dict[tuple[int, int], Reassignment] = {}
+    for mv in moves:
+        if mv.stage not in _STAGES:
+            v.append(
+                PlanViolation(
+                    "structure",
+                    f"unknown resume stage {mv.stage!r} for data set "
+                    f"{mv.dataset} (expected one of {_STAGES})",
+                    module=mv.module,
+                )
+            )
+        if not 0 <= mv.module < len(replicas) or (
+            not 0 <= mv.instance < replicas[mv.module]
+        ):
+            v.append(
+                PlanViolation(
+                    "structure",
+                    f"move of data set {mv.dataset} targets instance "
+                    f"{mv.instance} of module {mv.module}, which does not "
+                    f"exist in the mapping", module=mv.module,
+                )
+            )
+            continue
+        key = (mv.module, mv.dataset)
+        if key in seen:
+            v.append(
+                PlanViolation(
+                    "deadlock",
+                    f"data set {mv.dataset} is assigned to two instances of "
+                    f"module {mv.module}: both would arrive at the same "
+                    f"rendezvous and the duplicate blocks forever",
+                    module=mv.module,
+                )
+            )
+            continue
+        seen[key] = mv
+        target = (mv.module, mv.instance)
+        q = state.get(target)
+        if q is not None and not q.alive:
+            v.append(
+                PlanViolation(
+                    "deadlock",
+                    f"data set {mv.dataset} moves to dead instance "
+                    f"{mv.instance} of module {mv.module}: it would never "
+                    f"be produced and every downstream consumer of it "
+                    f"blocks", module=mv.module,
+                )
+            )
+            continue
+        high = highs.get(target, -1)
+        if mv.dataset <= high:
+            v.append(
+                PlanViolation(
+                    "deadlock",
+                    f"data set {mv.dataset} moves to instance {mv.instance} "
+                    f"of module {mv.module} whose queue already started "
+                    f"data set {high}: inserting behind a larger in-flight "
+                    f"data set breaks the ascending-queue invariant and "
+                    f"deadlocks the blocking rendezvous", module=mv.module,
+                )
+            )
+            continue
+        highs[target] = mv.dataset
+    return v
+
+
+def verify_plan(plan: StaticPlan) -> PlanReport:
+    """Run every applicable check family over a plan.
+
+    Families run in dependency order — structure first (nothing else is
+    meaningful on a broken tiling), then chain-level preflight, machine
+    geometry, and redistribution.
+    """
+    checked = ["structure"]
+    violations = verify_structure(plan.modules)
+    mapping: Mapping | None = None
+    if not violations:
+        mapping = Mapping(
+            [ModuleSpec.from_dict(m) for m in plan.modules]
+        )
+
+    if mapping is not None:
+        if plan.chain is not None:
+            checked.append("preflight")
+            violations += preflight(
+                plan.chain, mapping,
+                total_procs=plan.total_procs,
+                mem_per_proc_mb=plan.mem_per_proc_mb,
+            )
+        elif plan.total_procs is not None:
+            checked.append("budget")
+            if mapping.total_procs > plan.total_procs:
+                violations.append(
+                    PlanViolation(
+                        "budget",
+                        f"mapping uses {mapping.total_procs} processors, "
+                        f"machine has {plan.total_procs}",
+                    )
+                )
+        if plan.machine is not None:
+            checked.append("geometry")
+            from ..machine.feasibility import check_feasible
+
+            report = check_feasible(mapping, plan.machine)
+            if not report.feasible:
+                violations.append(
+                    PlanViolation("geometry", report.reason)
+                )
+        if plan.queues or plan.moves:
+            checked.append("redistribution")
+            violations += verify_redistribution(
+                [m.replicas for m in mapping.modules],
+                plan.queues, plan.moves,
+            )
+    return PlanReport(violations, source=plan.source, checked=tuple(checked))
+
+
+def load_plan(path: str | Path) -> StaticPlan:
+    """Read a plan from any of the persisted JSON kinds."""
+    path = Path(path)
+    payload = json.loads(path.read_text())
+    kind = payload.get("kind")
+    if kind not in ("mapping", "plan", "plan-check"):
+        raise ValueError(
+            f"{path}: expected kind 'mapping', 'plan' or 'plan-check', "
+            f"found {kind!r}"
+        )
+    return StaticPlan.from_dict(payload, source=str(path))

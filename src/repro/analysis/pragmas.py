@@ -1,0 +1,115 @@
+"""Suppression pragmas: ``# repro: allow[rule-a,rule-b]``.
+
+A pragma comment on a line allows the named rules to fire on that line
+without failing the lint run; the finding is still reported (marked
+``suppressed``) so every suppression stays auditable.  ``allow[*]``
+allows every rule.  Malformed pragmas and pragmas that suppress nothing
+are themselves findings — a stale suppression is how real violations
+sneak back in.
+"""
+
+from __future__ import annotations
+
+import io
+import re
+import tokenize
+from dataclasses import dataclass, replace
+
+from .diagnostics import Diagnostic, Severity
+
+__all__ = ["Pragma", "collect_pragmas", "apply_pragmas"]
+
+_PRAGMA_RE = re.compile(r"#\s*repro:\s*(?P<spec>.*)")
+_ALLOW_RE = re.compile(r"^allow\s*\[(?P<rules>[^\]]*)\]\s*$")
+
+
+@dataclass
+class Pragma:
+    """One parsed suppression comment."""
+
+    line: int
+    col: int
+    rules: set[str]        # rule names; "*" means every rule
+    used: bool = False
+
+
+def collect_pragmas(source: str, path: str) -> tuple[list[Pragma], list[Diagnostic]]:
+    """Scan a file's comments for pragmas.
+
+    Returns the parsed pragmas plus diagnostics for malformed ones
+    (``bad-pragma``, an error: a typo'd suppression that silently does
+    nothing is worse than no suppression).
+    """
+    pragmas: list[Pragma] = []
+    diags: list[Diagnostic] = []
+    try:
+        tokens = tokenize.generate_tokens(io.StringIO(source).readline)
+        comments = [
+            t for t in tokens if t.type == tokenize.COMMENT
+        ]
+    except (tokenize.TokenError, IndentationError):  # pragma: no cover
+        return pragmas, diags
+    for tok in comments:
+        m = _PRAGMA_RE.search(tok.string)
+        if m is None:
+            continue
+        line, col = tok.start
+        spec = m.group("spec").strip()
+        am = _ALLOW_RE.match(spec)
+        if am is None:
+            diags.append(
+                Diagnostic(
+                    "bad-pragma", Severity.ERROR, path, line, col,
+                    f"malformed pragma {tok.string.strip()!r}: expected "
+                    f"'# repro: allow[rule,...]'",
+                )
+            )
+            continue
+        rules = {r.strip() for r in am.group("rules").split(",") if r.strip()}
+        if not rules:
+            diags.append(
+                Diagnostic(
+                    "bad-pragma", Severity.ERROR, path, line, col,
+                    "pragma allows no rules: name at least one rule or '*'",
+                )
+            )
+            continue
+        pragmas.append(Pragma(line, col, rules))
+    return pragmas, diags
+
+
+def apply_pragmas(
+    diagnostics: list[Diagnostic],
+    pragmas: list[Pragma],
+    path: str,
+) -> list[Diagnostic]:
+    """Mark findings covered by a same-line pragma as suppressed.
+
+    Unused pragmas become ``unused-pragma`` warnings: the violation they
+    were written for is gone, so the suppression should go too.
+    """
+    by_line: dict[int, list[Pragma]] = {}
+    for p in pragmas:
+        by_line.setdefault(p.line, []).append(p)
+    out: list[Diagnostic] = []
+    for d in diagnostics:
+        hit = None
+        for p in by_line.get(d.line, ()):
+            if d.allowed_by(p.rules):
+                hit = p
+                break
+        if hit is not None:
+            hit.used = True
+            out.append(replace(d, suppressed=True))
+        else:
+            out.append(d)
+    for p in pragmas:
+        if not p.used:
+            out.append(
+                Diagnostic(
+                    "unused-pragma", Severity.WARNING, path, p.line, p.col,
+                    f"pragma allow[{','.join(sorted(p.rules))}] suppresses "
+                    f"nothing on this line — remove it",
+                )
+            )
+    return out

@@ -24,6 +24,7 @@ from .exceptions import (
     InvalidChainError,
     InvalidMappingError,
     ModelFitError,
+    PlanError,
     ReproError,
     SimulationError,
 )
@@ -73,7 +74,15 @@ from .latency import (
     throughput_latency_frontier,
 )
 from .sizing import SizingResult, min_processors_for_throughput, sizing_curve
-from .validate import Diagnosis, Finding, Severity, diagnose
+from .validate import (
+    Diagnosis,
+    Finding,
+    PlanViolation,
+    Severity,
+    diagnose,
+    ensure_valid_plan,
+    preflight,
+)
 
 __all__ = [
     # cost models
@@ -83,7 +92,7 @@ __all__ = [
     "LambdaBinary", "model_from_dict",
     # errors
     "ReproError", "InvalidChainError", "InvalidMappingError",
-    "InfeasibleError", "ModelFitError", "SimulationError",
+    "InfeasibleError", "ModelFitError", "SimulationError", "PlanError",
     # chain & mapping
     "Task", "Edge", "TaskChain", "min_processors",
     "Mapping", "ModuleSpec", "all_clusterings", "singleton_clustering",
@@ -107,6 +116,7 @@ __all__ = [
     "throughput_latency_frontier",
     "SizingResult", "min_processors_for_throughput", "sizing_curve",
     "Diagnosis", "Finding", "Severity", "diagnose",
+    "PlanViolation", "preflight", "ensure_valid_plan",
     # baselines & oracles
     "data_parallel", "replicated_data_parallel", "even_task_parallel",
     "comm_blind_assignment",

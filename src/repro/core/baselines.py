@@ -17,6 +17,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+from .dp import _strip_replication
 from .exceptions import InfeasibleError
 from .mapping import Mapping, singleton_clustering
 from .response import (
@@ -26,7 +27,6 @@ from .response import (
     evaluate_module_chain,
     totals_to_allocations,
 )
-from .dp import _strip_replication
 from .task import TaskChain
 
 __all__ = [

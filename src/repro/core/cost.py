@@ -22,7 +22,6 @@ win a minimisation.
 
 from __future__ import annotations
 
-import math
 from dataclasses import dataclass
 from typing import Iterable, Sequence
 
@@ -417,7 +416,7 @@ class ScaledBinary(BinaryCost):
         return {"kind": "scaled_binary", "factor": self.factor, "base": self.base.to_dict()}
 
 
-class LambdaUnary(UnaryCost):
+class LambdaUnary(UnaryCost):  # repro: allow[protocol-contract]
     """Wrap an arbitrary vectorised callable ``f(p)`` as a unary cost.
 
     Used by workloads whose *true* behaviour includes terms outside the
@@ -436,7 +435,7 @@ class LambdaUnary(UnaryCost):
         return f"LambdaUnary({self.name})"
 
 
-class LambdaBinary(BinaryCost):
+class LambdaBinary(BinaryCost):  # repro: allow[protocol-contract]
     """Wrap an arbitrary vectorised callable ``f(ps, pr)`` as a binary cost."""
 
     def __init__(self, fn, name: str = "lambda"):

@@ -20,6 +20,28 @@ class InvalidMappingError(ReproError):
     task missing or duplicated, replication of a non-replicable task, ...)."""
 
 
+class PlanError(InvalidMappingError):
+    """A mapping plan failed the static pre-flight verifier.
+
+    Raised by :func:`repro.core.validate.ensure_valid_plan` (and the
+    ``simulate``/``RemapPlanner`` entry points that call it) *before* any
+    simulation work runs.  Carries the full list of structured
+    violations, so callers see every problem at once instead of the first
+    assert a simulation run happens to trip over.
+
+    Subclasses :class:`InvalidMappingError` so pre-existing handlers keep
+    working.
+    """
+
+    def __init__(self, violations):
+        self.violations = list(violations)
+        lines = "; ".join(str(v) for v in self.violations)
+        super().__init__(
+            f"plan rejected by static verifier ({len(self.violations)} "
+            f"violation(s)): {lines}"
+        )
+
+
 class InfeasibleError(ReproError):
     """No mapping exists under the given resource constraints.
 

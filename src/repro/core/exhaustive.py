@@ -11,6 +11,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Iterator, Sequence
 
+from .dp import _strip_replication
 from .mapping import Mapping, all_clusterings
 from .response import (
     ModuleChain,
@@ -19,7 +20,6 @@ from .response import (
     throughput_of_totals,
     totals_to_allocations,
 )
-from .dp import _strip_replication
 from .task import TaskChain
 
 __all__ = [

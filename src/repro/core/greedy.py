@@ -22,6 +22,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+from .dp import _strip_replication
 from .exceptions import InfeasibleError
 from .mapping import Mapping
 from .response import (
@@ -31,7 +32,6 @@ from .response import (
     throughput_of_totals,
     totals_to_allocations,
 )
-from .dp import _strip_replication
 
 __all__ = ["GreedyResult", "greedy_assignment"]
 

@@ -22,6 +22,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from .dp import _PN_CHUNK, _strip_replication
 from .exceptions import InfeasibleError
 from .mapping import Mapping
 from .response import (
@@ -30,7 +31,6 @@ from .response import (
     evaluate_module_chain,
     totals_to_allocations,
 )
-from .dp import _strip_replication, _PN_CHUNK
 
 __all__ = [
     "LatencyResult",

@@ -70,9 +70,28 @@ class RemapPlanner:
                 cache=self.cache,
                 workspace=self.workspace,
             )
+            self.preflight(got.mapping, total_procs)
             self._plans[total_procs] = got
             self.solves += 1
         return got
+
+    def preflight(self, mapping, total_procs: int) -> None:
+        """Static pre-flight of a candidate plan for ``total_procs``.
+
+        Every plan this planner hands to the runtime — its own DP
+        solutions included — passes the static verifier first, raising a
+        structured :class:`~repro.core.exceptions.PlanError` instead of
+        surfacing as a mid-simulation deadlock or assert.  Also the hook
+        external backends (ILP, metaheuristics) go through when they
+        propose plans for a degraded machine.
+        """
+        from .validate import ensure_valid_plan
+
+        ensure_valid_plan(
+            self.chain, mapping,
+            total_procs=total_procs,
+            mem_per_proc_mb=self.mem_per_proc_mb,
+        )
 
     def update_chain(self, chain: TaskChain) -> "ChainDelta":
         """Repoint the planner at a chain with *changed cost tables*.

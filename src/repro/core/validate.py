@@ -14,13 +14,21 @@ from dataclasses import dataclass
 from enum import Enum
 from typing import Optional
 
-from .exceptions import InfeasibleError, InvalidMappingError
+from .exceptions import InfeasibleError, InvalidMappingError, PlanError
 from .mapping import Mapping
 from .replication import split_replicas
 from .response import build_module_chain, evaluate_module_chain
 from .task import TaskChain
 
-__all__ = ["Severity", "Finding", "Diagnosis", "diagnose"]
+__all__ = [
+    "Severity",
+    "Finding",
+    "Diagnosis",
+    "diagnose",
+    "PlanViolation",
+    "preflight",
+    "ensure_valid_plan",
+]
 
 
 class Severity(Enum):
@@ -55,6 +63,104 @@ class Diagnosis:
         if not self.findings:
             lines.insert(0, "no findings")
         return "\n".join(lines)
+
+
+@dataclass(frozen=True)
+class PlanViolation:
+    """One structured reason a plan cannot run.
+
+    ``code`` is stable and machine-readable (``structure``, ``budget``,
+    ``replication``, ``memory``, ``geometry``, ``deadlock``); ``module``
+    is the offending module index when the violation is localised.
+    """
+
+    code: str
+    message: str
+    module: int | None = None
+
+    def __str__(self):
+        where = f" (module {self.module})" if self.module is not None else ""
+        return f"{self.code}{where}: {self.message}"
+
+    def to_dict(self) -> dict:
+        d = {"code": self.code, "message": self.message}
+        if self.module is not None:
+            d["module"] = self.module
+        return d
+
+
+def preflight(
+    chain: TaskChain,
+    mapping: Mapping,
+    total_procs: int | None = None,
+    mem_per_proc_mb: float | None = None,
+) -> list[PlanViolation]:
+    """Cheap static checks a mapping must pass before it may execute.
+
+    The subset of :func:`diagnose` that needs no performance evaluation:
+    chain coverage, replication legality, processor budget, and (when a
+    memory limit is known) per-module memory minimums.  The ``simulate``
+    and :class:`~repro.core.remap.RemapPlanner` entry points run this and
+    raise a structured :class:`~repro.core.exceptions.PlanError` instead
+    of letting a bad plan surface as a mid-simulation deadlock or assert.
+    """
+    violations: list[PlanViolation] = []
+    if mapping.ntasks != len(chain):
+        violations.append(
+            PlanViolation(
+                "structure",
+                f"mapping covers {mapping.ntasks} tasks, chain "
+                f"{chain.name!r} has {len(chain)}",
+            )
+        )
+        return violations  # module/task indices are meaningless past here
+    for i, m in enumerate(mapping.modules):
+        if m.replicas > 1 and not chain.segment_replicable(m.start, m.stop):
+            names = [t.name for t in m.tasks_of(chain)]
+            violations.append(
+                PlanViolation(
+                    "replication",
+                    f"module {names} contains a non-replicable task but "
+                    f"has {m.replicas} instances",
+                    module=i,
+                )
+            )
+    if total_procs is not None and mapping.total_procs > total_procs:
+        violations.append(
+            PlanViolation(
+                "budget",
+                f"mapping uses {mapping.total_procs} processors, machine "
+                f"has {total_procs}",
+            )
+        )
+    if mem_per_proc_mb is not None and mem_per_proc_mb != float("inf"):
+        mchain = build_module_chain(chain, mapping.clustering(), mem_per_proc_mb)
+        for i, (spec, info) in enumerate(zip(mapping.modules, mchain.infos)):
+            if spec.procs < info.p_min:
+                names = ",".join(t.name for t in spec.tasks_of(chain))
+                violations.append(
+                    PlanViolation(
+                        "memory",
+                        f"module {{{names}}} needs >= {info.p_min} "
+                        f"processors per instance for its memory footprint, "
+                        f"has {spec.procs}",
+                        module=i,
+                    )
+                )
+    return violations
+
+
+def ensure_valid_plan(
+    chain: TaskChain,
+    mapping: Mapping,
+    total_procs: int | None = None,
+    mem_per_proc_mb: float | None = None,
+) -> None:
+    """Raise :class:`PlanError` (all violations at once) if the mapping
+    fails :func:`preflight`."""
+    violations = preflight(chain, mapping, total_procs, mem_per_proc_mb)
+    if violations:
+        raise PlanError(violations)
 
 
 def diagnose(

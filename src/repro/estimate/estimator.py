@@ -14,7 +14,6 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
-import numpy as np
 
 from ..core.cost import ZeroBinary, ZeroUnary
 from ..core.exceptions import ModelFitError

@@ -17,7 +17,7 @@ from dataclasses import dataclass
 from ..core.dp import optimal_assignment
 from ..core.exhaustive import brute_force_assignment
 from ..core.mapping import singleton_clustering
-from ..core.response import build_module_chain, throughput_of_totals
+from ..core.response import build_module_chain
 from ..tools.report import render_table
 from ..workloads.synthetic import random_chain
 

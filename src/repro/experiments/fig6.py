@@ -10,7 +10,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-from ..machine import check_feasible, iwarp64_message
+from ..machine import iwarp64_message
 from ..machine.feasibility import FeasibleResult, optimal_feasible_mapping
 from ..tools.diagram import grid_diagram, mapping_diagram
 from ..workloads import Workload, fft_hist

@@ -14,7 +14,6 @@ from dataclasses import dataclass
 from ..core.cluster_greedy import heuristic_mapping
 from ..core.dp_cluster import optimal_mapping
 from ..tools.report import render_table
-from ..workloads.base import Workload
 from ..workloads.synthetic import random_chain
 from .common import table2_roster
 

@@ -13,7 +13,7 @@ from dataclasses import dataclass
 
 from ..core.baselines import data_parallel
 from ..core.dp_cluster import optimal_mapping
-from ..machine import MachineSpec, PRESETS
+from ..machine import PRESETS, MachineSpec
 from ..tools.report import format_mapping, render_table
 from ..workloads.fft_hist import fft_hist
 

@@ -10,7 +10,7 @@ abundant memory unlocks small-instance heavy replication.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, replace
+from dataclasses import dataclass
 
 from ..core.dp_cluster import optimal_mapping
 from ..machine import iwarp64_message

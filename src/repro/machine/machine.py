@@ -10,7 +10,7 @@ iWarp (8×8 torus) driven by the Fx compiler, with two communication systems
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 __all__ = ["CommParams", "MachineSpec"]
 

@@ -25,7 +25,7 @@ the remap planner always sees the true surviving processor count.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Sequence
 
 import numpy as np

@@ -52,6 +52,7 @@ import numpy as np
 from ..core.exceptions import SimulationError
 from ..core.mapping import Mapping
 from ..core.task import TaskChain
+from ..core.validate import ensure_valid_plan
 from .engine import Simulator
 from .faults import EpochStats, FaultEvent, FaultModel, RemapRecord
 from .noise import NoiseModel
@@ -759,7 +760,9 @@ def simulate(
         raise SimulationError("need at least 2 data sets to measure throughput")
     if placements is not None and len(placements) != len(mapping):
         raise SimulationError("placements must cover every module")
-    mapping.validate(chain)
+    # Static pre-flight: a bad plan raises a structured PlanError (all
+    # violations at once) here, never a mid-simulation deadlock/assert.
+    ensure_valid_plan(chain, mapping)
     noise = noise or NoiseModel.silent()
     if _resolve_engine(engine, noise, faults, collect_trace) == "fast":
         # Imported lazily: fastpath imports this module's result/measure
@@ -889,15 +892,13 @@ def simulate_fault_tolerant(
     """
     if n_datasets < 2:
         raise SimulationError("need at least 2 data sets to measure throughput")
-    mapping.validate(chain)
     noise = noise or NoiseModel.silent()
     faults = faults if faults is not None else FaultModel.silent()
     machine_procs = machine_procs if machine_procs is not None else mapping.total_procs
-    if mapping.total_procs > machine_procs:
-        raise SimulationError(
-            f"mapping uses {mapping.total_procs} processors, machine has "
-            f"{machine_procs}"
-        )
+    ensure_valid_plan(
+        chain, mapping, total_procs=machine_procs,
+        mem_per_proc_mb=mem_per_proc_mb,
+    )
     trace = TraceLog() if collect_trace else None
 
     completions = np.full(n_datasets, np.nan)

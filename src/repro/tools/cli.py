@@ -3,6 +3,7 @@
 Subcommands
 -----------
 ``map``         run the automatic mapping tool for one workload (``--save``)
+``lint``        static analysis: determinism lint + static plan verifier
 ``simulate``    map, then measure the chosen mapping on the simulator
 ``trace``       simulate and render an execution trace (``--svg``)
 ``faults``      run the fault-tolerance study (degrade / remap / availability)
@@ -81,6 +82,42 @@ def build_parser() -> argparse.ArgumentParser:
     p_trace.add_argument("--svg", metavar="OUT.svg", default=None,
                          help="also write an SVG rendering")
 
+    p_lint = sub.add_parser(
+        "lint",
+        help="static analysis: determinism lint rules + static mapping-plan "
+             "verifier (no simulation runs)",
+    )
+    p_lint.add_argument(
+        "paths", nargs="*", metavar="PATH",
+        help="files or directories to lint (default: the installed "
+             "repro tree, as --self)",
+    )
+    p_lint.add_argument(
+        "--self", dest="self_check", action="store_true",
+        help="lint the installed repro package tree (the CI gate)",
+    )
+    p_lint.add_argument(
+        "--plan", metavar="PLAN.json", default=None,
+        help="statically verify a saved plan (kinds: mapping, plan, "
+             "plan-check) instead of / in addition to linting",
+    )
+    p_lint.add_argument(
+        "--workload", "-w", choices=_WORKLOADS, default=None,
+        help="chain context for --plan files that carry no chain",
+    )
+    p_lint.add_argument(
+        "--machine", "-m", choices=sorted(PRESETS), default=None,
+        help="machine context for --plan files that carry no machine",
+    )
+    p_lint.add_argument(
+        "--json", dest="json_out", metavar="OUT.json", default=None,
+        help="also write machine-readable diagnostics (file:line spans)",
+    )
+    p_lint.add_argument(
+        "--show-suppressed", action="store_true",
+        help="list findings suppressed by '# repro: allow[rule]' pragmas",
+    )
+
     p_check = sub.add_parser("check", help="lint a saved mapping against a workload")
     add_workload_args(p_check)
     p_check.add_argument("--mapping", required=True, metavar="MAPPING.json")
@@ -149,6 +186,52 @@ def _cmd_trace(args) -> int:
         path = write_trace_svg(result.trace, args.svg)
         print(f"wrote {path}")
     return 0
+
+
+def _cmd_lint(args) -> int:
+    import json
+
+    from ..analysis import lint_paths, load_plan, self_check, verify_plan
+
+    payload: dict = {"format": "repro-analysis/v1"}
+    ok = True
+
+    lint_report = None
+    if args.self_check or args.paths or args.plan is None:
+        if args.paths and not args.self_check:
+            lint_report = lint_paths(args.paths)
+        else:
+            lint_report = self_check()
+            if args.paths:
+                lint_report.diagnostics.extend(
+                    lint_paths(args.paths).diagnostics
+                )
+        print(lint_report.render(show_suppressed=args.show_suppressed))
+        print("OK" if lint_report.ok else "FAIL")
+        ok = ok and lint_report.ok
+        payload["lint"] = lint_report.to_dict()
+
+    if args.plan is not None:
+        plan = load_plan(args.plan)
+        if plan.chain is None and args.workload is not None:
+            machine = machine_by_name(args.machine or "iwarp64-message")
+            plan.chain = workload_by_name(args.workload, machine).chain
+        if plan.machine is None and args.machine is not None:
+            plan.machine = machine_by_name(args.machine)
+            if plan.total_procs is None:
+                plan.total_procs = plan.machine.total_procs
+            if plan.mem_per_proc_mb is None:
+                plan.mem_per_proc_mb = plan.machine.mem_per_proc_mb
+        plan_report = verify_plan(plan)
+        print(plan_report.render())
+        ok = ok and plan_report.ok
+        payload["plan"] = plan_report.to_dict()
+
+    if args.json_out:
+        with open(args.json_out, "w") as fh:
+            json.dump(payload, fh, indent=2)
+        print(f"diagnostics written to {args.json_out}")
+    return 0 if ok else 1
 
 
 def _cmd_check(args) -> int:
@@ -375,6 +458,8 @@ def main(argv: list[str] | None = None) -> int:
         return _cmd_simulate(args)
     if args.command == "trace":
         return _cmd_trace(args)
+    if args.command == "lint":
+        return _cmd_lint(args)
     if args.command == "check":
         return _cmd_check(args)
     if args.command == "size":

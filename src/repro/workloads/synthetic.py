@@ -12,7 +12,6 @@ import numpy as np
 
 from ..core.cost import PolynomialEComm, PolynomialExec, PolynomialIComm
 from ..core.task import Edge, Task, TaskChain
-from .base import Workload
 
 __all__ = ["random_chain", "uniform_chain", "bottleneck_chain"]
 

@@ -1,0 +1,299 @@
+"""Static mapping-plan verifier: crafted bad plans must be rejected
+without running the simulator, and the runtime hooks must raise a
+structured PlanError instead of failing mid-simulation."""
+
+import json
+
+import pytest
+
+from repro.analysis import (
+    QueueState,
+    Reassignment,
+    StaticPlan,
+    load_plan,
+    verify_plan,
+    verify_redistribution,
+)
+from repro.analysis.plan import verify_structure
+from repro.core import (
+    Edge,
+    Mapping,
+    ModuleSpec,
+    PlanError,
+    PolynomialEComm,
+    PolynomialExec,
+    PolynomialIComm,
+    Task,
+    TaskChain,
+    ensure_valid_plan,
+    preflight,
+)
+from repro.core.remap import RemapPlanner
+from repro.machine import by_name as machine_by_name
+from repro.sim.pipeline import simulate, simulate_fault_tolerant
+
+
+def three_task_chain(replicable=(True, True, True)):
+    tasks = [
+        Task(name=f"t{i}", exec_cost=PolynomialExec(0.1, 4.0),
+             replicable=rep)
+        for i, rep in enumerate(replicable)
+    ]
+    edges = [
+        Edge(icom=PolynomialIComm(0.01, 0.2),
+             ecom=PolynomialEComm(0.01, 0.5, 0.5))
+        for _ in range(2)
+    ]
+    return TaskChain(tasks, edges, name="three")
+
+
+class TestVerifyStructure:
+    def test_clean_plan_ok(self):
+        mods = [
+            {"start": 0, "stop": 1, "procs": 2},
+            {"start": 2, "stop": 2, "procs": 1},
+        ]
+        assert verify_structure(mods) == []
+
+    def test_gap_reported(self):
+        mods = [
+            {"start": 0, "stop": 0, "procs": 1},
+            {"start": 2, "stop": 2, "procs": 1},
+        ]
+        v = verify_structure(mods)
+        assert any("belong to no module" in str(x) for x in v)
+
+    def test_overlap_reported(self):
+        mods = [
+            {"start": 0, "stop": 1, "procs": 1},
+            {"start": 1, "stop": 2, "procs": 1},
+        ]
+        v = verify_structure(mods)
+        assert any("overlap" in str(x) for x in v)
+
+    def test_all_problems_reported_not_just_first(self):
+        # Mapping.__init__ raises at the first problem; the static
+        # verifier must keep going and report every one.
+        mods = [
+            {"start": 0, "stop": 0, "procs": 0},
+            {"start": 3, "stop": 2, "procs": 1},
+            {"start": 5, "stop": 6, "procs": -1},
+        ]
+        v = verify_structure(mods)
+        assert len(v) >= 3
+
+    def test_empty_plan_rejected(self):
+        assert verify_structure([]) != []
+
+    def test_malformed_entry_reported(self):
+        v = verify_structure([{"start": 0}])
+        assert any(x.code == "structure" for x in v)
+
+
+class TestVerifyPlan:
+    def test_over_budget_rejected(self):
+        chain = three_task_chain()
+        plan = StaticPlan(
+            modules=[{"start": 0, "stop": 2, "procs": 64}],
+            chain=chain,
+            total_procs=8,
+        )
+        report = verify_plan(plan)
+        assert not report.ok
+        assert any(v.code == "budget" for v in report.violations)
+
+    def test_illegal_replication_rejected(self):
+        chain = three_task_chain(replicable=(True, False, True))
+        plan = StaticPlan(
+            modules=[
+                {"start": 0, "stop": 0, "procs": 1},
+                {"start": 1, "stop": 1, "procs": 1, "replicas": 2},
+                {"start": 2, "stop": 2, "procs": 1},
+            ],
+            chain=chain,
+            total_procs=8,
+        )
+        report = verify_plan(plan)
+        assert not report.ok
+        assert any(v.code == "replication" for v in report.violations)
+
+    def test_geometry_checked_against_machine(self):
+        machine = machine_by_name("iwarp64-message")
+        plan = StaticPlan(
+            modules=[{"start": 0, "stop": 2, "procs": 2 * machine.total_procs}],
+            machine=machine,
+            total_procs=machine.total_procs,
+        )
+        report = verify_plan(plan)
+        assert not report.ok
+        assert "geometry" in report.checked
+
+    def test_valid_plan_passes(self):
+        chain = three_task_chain()
+        plan = StaticPlan(
+            modules=[
+                {"start": 0, "stop": 1, "procs": 2},
+                {"start": 2, "stop": 2, "procs": 1},
+            ],
+            chain=chain,
+            total_procs=8,
+        )
+        report = verify_plan(plan)
+        assert report.ok
+        assert "structure" in report.checked
+        assert "preflight" in report.checked
+
+    def test_report_round_trips_to_json(self):
+        plan = StaticPlan(modules=[{"start": 1, "stop": 2, "procs": 1}])
+        report = verify_plan(plan)
+        payload = json.loads(report.to_json())
+        assert payload["format"] == "repro-plan-check/v1"
+        assert payload["ok"] is False
+        assert payload["violations"]
+
+    def test_raise_if_invalid(self):
+        plan = StaticPlan(modules=[{"start": 1, "stop": 2, "procs": 1}])
+        report = verify_plan(plan)
+        with pytest.raises(PlanError) as err:
+            report.raise_if_invalid()
+        assert err.value.violations
+
+
+class TestRedistributionDeadlock:
+    # A 2-module mapping, module 1 with two instances degrading to one.
+    REPLICAS = [1, 2]
+
+    def queues(self, highs=(5, 3), alive=(True, True)):
+        return [
+            QueueState(1, 0, highs[0], alive[0]),
+            QueueState(1, 1, highs[1], alive[1]),
+        ]
+
+    def test_ascending_move_accepted(self):
+        moves = [Reassignment(1, 4, "exec", 1)]
+        assert verify_redistribution(self.REPLICAS, self.queues(), moves) == []
+
+    def test_insert_behind_larger_dataset_is_deadlock(self):
+        # Instance 0 already started data set 5; moving data set 4 onto
+        # it breaks queue ascent.
+        moves = [Reassignment(1, 4, "exec", 0)]
+        v = verify_redistribution(self.REPLICAS, self.queues(), moves)
+        assert any(x.code == "deadlock" for x in v)
+
+    def test_move_to_dead_instance_is_deadlock(self):
+        moves = [Reassignment(1, 9, "recv", 1)]
+        v = verify_redistribution(
+            self.REPLICAS, self.queues(alive=(True, False)), moves
+        )
+        assert any(x.code == "deadlock" for x in v)
+
+    def test_duplicate_dataset_ownership_is_deadlock(self):
+        moves = [
+            Reassignment(1, 7, "exec", 0),
+            Reassignment(1, 7, "send", 1),
+        ]
+        v = verify_redistribution(self.REPLICAS, self.queues(), moves)
+        assert any(x.code == "deadlock" for x in v)
+
+    def test_sequential_moves_update_high_water(self):
+        # Second move lands behind the first on the same queue: deadlock.
+        moves = [
+            Reassignment(1, 8, "exec", 1),
+            Reassignment(1, 6, "exec", 1),
+        ]
+        v = verify_redistribution(self.REPLICAS, self.queues(), moves)
+        assert any(x.code == "deadlock" for x in v)
+
+    def test_unknown_stage_reported(self):
+        moves = [Reassignment(1, 4, "warp", 1)]
+        v = verify_redistribution(self.REPLICAS, self.queues(), moves)
+        assert any("stage" in str(x) for x in v)
+
+    def test_bad_target_instance_reported(self):
+        moves = [Reassignment(1, 4, "exec", 5)]
+        v = verify_redistribution(self.REPLICAS, self.queues(), moves)
+        assert any(x.code == "structure" for x in v)
+
+
+class TestPreflightHooks:
+    def test_simulate_rejects_bad_coverage_with_plan_error(self):
+        chain = three_task_chain()
+        short = Mapping([ModuleSpec(0, 0, 1)])
+        with pytest.raises(PlanError) as err:
+            simulate(chain, short, n_datasets=4)
+        assert any(v.code == "structure" for v in err.value.violations)
+
+    def test_fault_tolerant_rejects_over_budget(self):
+        chain = three_task_chain()
+        big = Mapping([ModuleSpec(0, 2, 10_000)])
+        with pytest.raises(PlanError) as err:
+            simulate_fault_tolerant(
+                chain, big, n_datasets=4, machine_procs=8
+            )
+        assert any(v.code == "budget" for v in err.value.violations)
+
+    def test_remap_planner_preflights_external_plans(self):
+        chain = three_task_chain()
+        planner = RemapPlanner(chain)
+        big = Mapping([ModuleSpec(0, 2, 10_000)])
+        with pytest.raises(PlanError):
+            planner.preflight(big, total_procs=8)
+
+    def test_preflight_returns_violations_without_raising(self):
+        chain = three_task_chain()
+        big = Mapping([ModuleSpec(0, 2, 10_000)])
+        violations = preflight(chain, big, total_procs=8)
+        assert any(v.code == "budget" for v in violations)
+
+    def test_ensure_valid_plan_passes_good_mapping(self):
+        chain = three_task_chain()
+        good = Mapping([ModuleSpec(0, 2, 2)])
+        ensure_valid_plan(chain, good, total_procs=8)  # no raise
+
+    def test_plan_error_is_invalid_mapping_error(self):
+        # Existing handlers catch InvalidMappingError; the structured
+        # error must stay catchable there.
+        from repro.core import InvalidMappingError
+
+        assert issubclass(PlanError, InvalidMappingError)
+
+
+class TestLoadPlan:
+    def test_mapping_kind_round_trip(self, tmp_path):
+        from repro.tools.persist import save_mapping
+
+        mapping = Mapping([ModuleSpec(0, 2, 2)])
+        path = save_mapping(mapping, tmp_path / "m.json")
+        plan = load_plan(path)
+        assert plan.modules == [m.to_dict() for m in mapping.modules]
+        assert verify_plan(plan).ok
+
+    def test_plan_check_kind_with_redistribution(self, tmp_path):
+        payload = {
+            "kind": "plan-check",
+            "mapping": {"modules": [
+                {"start": 0, "stop": 2, "procs": 1, "replicas": 2},
+            ]},
+            "total_procs": 8,
+            "redistribution": {
+                "queues": [
+                    {"module": 0, "instance": 0, "high": 5},
+                    {"module": 0, "instance": 1, "high": 3},
+                ],
+                "moves": [
+                    {"module": 0, "dataset": 4, "stage": "exec",
+                     "instance": 0},
+                ],
+            },
+        }
+        path = tmp_path / "plan.json"
+        path.write_text(json.dumps(payload))
+        report = verify_plan(load_plan(path))
+        assert not report.ok
+        assert any(v.code == "deadlock" for v in report.violations)
+
+    def test_unknown_kind_rejected(self, tmp_path):
+        path = tmp_path / "x.json"
+        path.write_text(json.dumps({"kind": "mystery"}))
+        with pytest.raises(ValueError):
+            load_plan(path)

@@ -9,7 +9,6 @@ from repro.core import (
     PolynomialExec,
     Task,
     TaskChain,
-    ZeroUnary,
     build_module_chain,
     comm_blind_assignment,
     data_parallel,

@@ -9,7 +9,6 @@ from repro.core import (
     PolynomialExec,
     Task,
     TaskChain,
-    ZeroBinary,
     build_module_chain,
     greedy_assignment,
     optimal_assignment,

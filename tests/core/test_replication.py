@@ -1,6 +1,5 @@
 """Unit tests for the §3.2 replication rule."""
 
-import numpy as np
 import pytest
 
 from repro.core import (

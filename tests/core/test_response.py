@@ -22,7 +22,6 @@ from repro.core import (
     singleton_clustering,
     throughput_of_totals,
 )
-from tests.conftest import make_three_task_chain
 
 
 def _simple_chain():
@@ -156,7 +155,6 @@ class TestResponseTensor:
     """The vectorised tensors must agree with scalar evaluation."""
 
     def test_tensor_matches_scalar(self, three_chain):
-        import numpy as np
         from repro.core import totals_to_allocations
 
         P = 10

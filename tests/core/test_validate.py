@@ -12,8 +12,8 @@ from repro.core import (
     diagnose,
 )
 from repro.machine import iwarp64_message
-from tests.conftest import make_random_chain
 from repro.workloads import fft_hist
+from tests.conftest import make_random_chain
 
 
 def _codes(diagnosis, severity=None):

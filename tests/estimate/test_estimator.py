@@ -5,9 +5,6 @@ import pytest
 from repro.core import (
     Mapping,
     ModuleSpec,
-    PolynomialExec,
-    Task,
-    TaskChain,
     evaluate_mapping,
     optimal_mapping,
 )

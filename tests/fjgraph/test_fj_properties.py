@@ -2,7 +2,6 @@
 
 from __future__ import annotations
 
-import pytest
 from hypothesis import given, settings, strategies as st
 
 from repro.core import Edge, PolynomialEComm, PolynomialExec, Task, singleton_clustering

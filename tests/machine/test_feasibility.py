@@ -4,14 +4,14 @@ import pytest
 
 from repro.core import Mapping, ModuleSpec, optimal_mapping
 from repro.machine import (
-    MachineSpec,
+    PRESETS,
     CommParams,
+    MachineSpec,
+    by_name,
     check_feasible,
     iwarp64_message,
     iwarp64_systolic,
     optimal_feasible_mapping,
-    by_name,
-    PRESETS,
 )
 from tests.conftest import make_random_chain
 

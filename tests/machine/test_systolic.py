@@ -1,6 +1,5 @@
 """Tests for systolic pathway accounting (§6.1)."""
 
-import pytest
 
 from repro.machine import Rect, link_loads, max_link_load, pathway_pairs, route_xy
 

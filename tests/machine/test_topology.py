@@ -1,6 +1,5 @@
 """Tests for grid topology and rectangular subarrays (§6.1)."""
 
-import pytest
 
 from repro.machine import Rect, is_rectangularizable, rect_shapes, rectangular_sizes
 

@@ -12,12 +12,12 @@ from __future__ import annotations
 import pytest
 
 from repro.core import (
+    Edge,
     Mapping,
     ModuleSpec,
     PolynomialEComm,
     PolynomialExec,
     PolynomialIComm,
-    Edge,
     SimulationError,
     Task,
     TaskChain,

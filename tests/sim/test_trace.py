@@ -2,8 +2,8 @@
 
 import pytest
 
-from repro.core import Mapping, ModuleSpec, optimal_mapping
-from repro.sim import TraceEvent, TraceLog, render_gantt, simulate
+from repro.core import Mapping, ModuleSpec
+from repro.sim import TraceLog, render_gantt, simulate
 from tests.conftest import make_three_task_chain
 
 

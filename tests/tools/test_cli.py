@@ -120,6 +120,60 @@ class TestCommands:
         ]) == 0
         assert "throughput" in capsys.readouterr().out
 
+    def test_lint_self_passes(self, capsys):
+        assert main(["lint", "--self"]) == 0
+        out = capsys.readouterr().out
+        assert "OK" in out
+        assert "file(s) scanned" in out
+
+    def test_lint_paths_finds_violations(self, capsys, tmp_path):
+        bad = tmp_path / "bad.py"
+        bad.write_text("import random\nx = random.random()\n")
+        assert main(["lint", str(bad)]) == 1
+        out = capsys.readouterr().out
+        assert "unseeded-rng" in out
+        assert "FAIL" in out
+
+    def test_lint_writes_json_diagnostics(self, capsys, tmp_path):
+        import json
+
+        bad = tmp_path / "bad.py"
+        bad.write_text("def f(xs=[]):\n    return xs\n")
+        out_path = tmp_path / "diag.json"
+        assert main(["lint", str(bad), "--json", str(out_path)]) == 1
+        payload = json.loads(out_path.read_text())
+        assert payload["lint"]["format"] == "repro-lint/v1"
+        entry = payload["lint"]["diagnostics"][0]
+        assert entry["rule"] == "mutable-default"
+        assert entry["path"] == str(bad)
+        assert entry["line"] == 1
+
+    def test_lint_plan_verifies_saved_mapping(self, capsys, tmp_path):
+        from repro.core import Mapping, ModuleSpec
+        from repro.tools import save_mapping
+
+        path = save_mapping(
+            Mapping([ModuleSpec(0, 3, 4)]), tmp_path / "m.json"
+        )
+        assert main([
+            "lint", "--plan", str(path), "-w", "radar",
+            "-m", "iwarp64-systolic",
+        ]) == 0
+        assert "plan ok" in capsys.readouterr().out
+
+    def test_lint_plan_rejects_over_budget(self, capsys, tmp_path):
+        from repro.core import Mapping, ModuleSpec
+        from repro.tools import save_mapping
+
+        path = save_mapping(
+            Mapping([ModuleSpec(0, 3, 4000)]), tmp_path / "m.json"
+        )
+        assert main([
+            "lint", "--plan", str(path), "-w", "radar",
+            "-m", "iwarp64-systolic",
+        ]) == 1
+        assert "plan rejected" in capsys.readouterr().out
+
     def test_trace_renders_gantt_and_svg(self, capsys, tmp_path):
         svg_path = tmp_path / "t.svg"
         assert main([

@@ -1,6 +1,5 @@
 """Tests for table rendering and ASCII diagrams."""
 
-import pytest
 
 from repro.core import Mapping, ModuleSpec
 from repro.machine import Rect, iwarp64_message
